@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact on the ``bench`` corpus
+profile (reduced scale; see DESIGN.md) and prints the regenerated rows
+next to the paper's published numbers.  Results are memoized under
+``.repro_cache/``, so the first invocation does the simulation work and
+subsequent runs replay from cache.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+PROFILE = "bench"
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> ExperimentRunner:
+    return ExperimentRunner(profile=PROFILE)
+
+
+def emit(report) -> None:
+    """Print a regenerated artifact (visible with pytest -s)."""
+    print()
+    print(report.to_text())

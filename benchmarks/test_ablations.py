@@ -1,0 +1,78 @@
+"""Ablation benches (DESIGN.md Section 7 extensions).
+
+* Cache-capacity sensitivity: the RANDOM-vs-RABBIT++ gap peaks in the
+  mid-capacity regime and collapses once everything fits.
+* Schedule ablation: interleaving rows across partitions raises
+  absolute traffic but preserves the ordering ranking.
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import (
+    hierarchy_ablation,
+    schedule_ablation,
+    sensitivity,
+    tiling,
+)
+
+
+def test_ablation_cache_sensitivity(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: sensitivity.run(profile=PROFILE, runner=bench_runner),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert report.summary["gap_at_largest"] < report.summary["max_gap"]
+    assert report.summary["gap_at_largest"] < 1.1
+
+
+def test_ablation_schedule(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: schedule_ablation.run(profile=PROFILE, runner=bench_runner),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    summary = report.summary
+    for schedule in ("sequential", "interleaved"):
+        assert (
+            summary[f"mean_rabbit++_{schedule}"]
+            <= summary[f"mean_random_{schedule}"] + 1e-9
+        )
+
+
+def test_ablation_hierarchy(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: hierarchy_ablation.run(profile=PROFILE, runner=bench_runner),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    summary = report.summary
+    # Community orderings beat RANDOM at the L1; the hierarchical
+    # (RABBIT) ordering at least matches the flat (LOUVAIN) one.
+    assert summary["mean_l1_hit_rabbit"] > summary["mean_l1_hit_random"]
+    assert summary["mean_l1_hit_rabbit"] >= summary["mean_l1_hit_louvain"] - 0.02
+
+
+def test_ablation_tiling(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: tiling.run(profile=PROFILE, runner=bench_runner),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    summary = report.summary
+    # Tiling buys RANDOM much larger traffic reductions than RABBIT++
+    # (whose working set is already cache-shaped).
+    assert summary["tiling_gain_random"] > summary["tiling_gain_rabbit++"]
+    # Both curves are U-shaped: the per-tile streaming overhead
+    # eventually overwhelms the locality gain.
+    rows = report.rows
+    assert rows[-1][1] > min(row[1] for row in rows)  # random curve
+    assert rows[-1][2] > min(row[2] for row in rows)  # rabbit++ curve
+    # The combination is never worse than tiling alone: at every tile
+    # count the RABBIT++-ordered matrix moves fewer bytes.
+    for row in rows:
+        assert row[2] <= row[1] + 1e-9

@@ -1,0 +1,26 @@
+"""Figure 2: SpMV DRAM traffic (normalized to compulsory) per ordering.
+
+Shape expectations vs. the paper: RANDOM worst by a wide margin,
+RABBIT and GORDER best, ORIGINAL in between and highly variable.
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import fig2
+
+
+def test_fig2_traffic(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: fig2.run(profile=PROFILE, runner=bench_runner),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    summary = report.summary
+    # Who wins: RABBIT must beat the degree-based techniques and RANDOM.
+    assert summary["mean_traffic_rabbit"] < summary["mean_traffic_degsort"]
+    assert summary["mean_traffic_rabbit"] < summary["mean_traffic_random"]
+    # Rough factor: RANDOM should be >= 1.5x RABBIT's traffic.
+    assert summary["mean_traffic_random"] > 1.5 * summary["mean_traffic_rabbit"]
+    # Run-time ratios exceed traffic ratios (irregular-access penalty).
+    assert summary["mean_runtime_random"] > summary["mean_traffic_random"]

@@ -1,0 +1,27 @@
+"""Figure 3: RABBIT run time vs. insularity.
+
+Shape expectation: high-insularity matrices land much closer to ideal
+than low-insularity ones (paper: 1.26x vs 1.81x).
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import fig3
+
+
+def test_fig3_insularity(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: fig3.run(profile=PROFILE, runner=bench_runner, split=0.7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    summary = report.summary
+    if "mean_runtime_high_insularity" in summary and "mean_runtime_low_insularity" in summary:
+        assert (
+            summary["mean_runtime_high_insularity"]
+            < summary["mean_runtime_low_insularity"]
+        )
+    # Rows are sorted by insularity (the figure's x-axis).
+    insularities = [row[1] for row in report.rows]
+    assert insularities == sorted(insularities)

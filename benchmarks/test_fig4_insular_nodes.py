@@ -1,0 +1,23 @@
+"""Figure 4: insular-node percentage per matrix.
+
+Shape expectation: high-insularity matrices are almost entirely
+insular; even low-insularity matrices retain a substantial insular
+fraction (the motivation for RABBIT++'s first modification).
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import fig4
+
+
+def test_fig4_insular_nodes(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: fig4.run(profile=PROFILE, runner=bench_runner, split=0.7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    for row in report.rows:
+        assert 0.0 <= row[2] <= 1.0
+    if "mean_insular_fraction_high_ins" in report.summary:
+        assert report.summary["mean_insular_fraction_high_ins"] > 0.5

@@ -1,0 +1,27 @@
+"""Figure 7: DRAM-traffic reduction of RABBIT++ over RABBIT.
+
+Shape expectations: RABBIT++ at least matches RABBIT on average, with
+the gains concentrated on low-insularity matrices (paper: 7.7% mean
+there, up to 1.56x).
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import fig7
+
+
+def test_fig7_rabbitpp_traffic(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: fig7.run(profile=PROFILE, runner=bench_runner, split=0.7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    summary = report.summary
+    assert summary["mean_traffic_reduction_all"] > 0.98
+    assert summary["max_traffic_reduction"] > 1.0
+    if "mean_traffic_reduction_low_ins" in summary:
+        assert (
+            summary["mean_traffic_reduction_low_ins"]
+            >= summary["mean_traffic_reduction_all"] - 0.02
+        )

@@ -1,0 +1,23 @@
+"""Figure 8: LRU vs. Belady DRAM traffic per ordering.
+
+Shape expectations: Belady always at or below LRU, and the gap shrinks
+as the ordering improves, smallest for RABBIT++ (paper: 7.6%).
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import fig8
+
+
+def test_fig8_belady_headroom(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: fig8.run(profile=PROFILE, runner=bench_runner),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    summary = report.summary
+    for key, gap in summary.items():
+        assert gap >= 1.0 - 1e-9, key
+    assert summary["lru_over_belady_rabbit++"] <= summary["lru_over_belady_random"]
+    assert summary["lru_over_belady_rabbit++"] == min(summary.values())

@@ -1,0 +1,34 @@
+"""Figure 9: reordering cost vs. matrix size and amortization.
+
+Shape expectations: GORDER's pre-processing cost dominates RABBIT's
+and RABBIT++'s at every size and grows at least as fast; RABBIT++ adds
+only a modest overhead over RABBIT.  Absolute amortization-iteration
+counts are inflated by the pure-Python reordering substrate (see the
+driver docstring); the ordering between techniques is the signal.
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import fig9
+
+
+def test_fig9_preprocessing_cost(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: fig9.run(profile=PROFILE, runner=bench_runner),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    for row in report.rows:
+        n, nnz, gorder_sec, _, rabbit_sec, _, rabbitpp_sec, _ = row
+        assert gorder_sec > rabbit_sec
+        assert gorder_sec > rabbitpp_sec
+    summary = report.summary
+    if (
+        "amortization_iterations_gorder" in summary
+        and "amortization_iterations_rabbit" in summary
+    ):
+        assert (
+            summary["amortization_iterations_gorder"]
+            > summary["amortization_iterations_rabbit"]
+        )

@@ -1,0 +1,36 @@
+"""Section V-B: Pearson correlations between insularity, skew and
+community size.
+
+Shape expectations: both correlations negative (paper: −0.721 for
+skew, −0.472 for normalized community size), and low-insularity
+matrices carry much higher skew.
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import correlations
+
+
+def test_sec5_correlations(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: correlations.run(profile=PROFILE, runner=bench_runner, split=0.7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert report.summary["pearson_insularity_skew"] < -0.2
+    # The community-size correlation does NOT reproduce at this scale:
+    # modularity detectors have a resolution floor (k ~ sqrt(edges)),
+    # so at 4k nodes community sizes barely vary with insularity.  The
+    # measured value is recorded in EXPERIMENTS.md as a documented
+    # divergence; here we only pin it to a sane range.
+    if "pearson_insularity_commsize" in report.summary:
+        assert -1.0 <= report.summary["pearson_insularity_commsize"] <= 1.0
+    if (
+        "mean_skew_high_insularity" in report.summary
+        and "mean_skew_low_insularity" in report.summary
+    ):
+        assert (
+            report.summary["mean_skew_low_insularity"]
+            > report.summary["mean_skew_high_insularity"]
+        )

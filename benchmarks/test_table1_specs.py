@@ -1,0 +1,12 @@
+"""Table I: platform specifications (trivially fast; included so every
+paper artifact has a bench target)."""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import table1
+
+
+def test_table1_specs(benchmark, bench_runner):
+    report = benchmark(lambda: table1.run(profile=PROFILE))
+    emit(report)
+    assert report.summary["l2_scale_factor"] > 1

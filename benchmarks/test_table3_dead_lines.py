@@ -1,0 +1,22 @@
+"""Table III: average dead-line percentage per ordering.
+
+Shape expectations: RANDOM wastes by far the most cache capacity;
+RABBIT++ the least (paper: 63.3% vs 16.4%).
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import table3
+
+
+def test_table3_dead_lines(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: table3.run(profile=PROFILE, runner=bench_runner),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    dead = report.summary
+    assert dead["dead_fraction_random"] == max(dead.values())
+    assert dead["dead_fraction_rabbit++"] <= dead["dead_fraction_rabbit"]
+    assert dead["dead_fraction_rabbit++"] < dead["dead_fraction_random"] / 1.5

@@ -1,0 +1,27 @@
+"""Table IV: run time normalized to ideal across other kernels.
+
+Shape expectations: for every kernel (SpMV-COO, SpMM-CSR-4,
+SpMM-CSR-256), RANDOM is worst and the community orderings improve on
+it, with RABBIT++ at least matching RABBIT overall.
+"""
+
+from conftest import PROFILE, emit
+
+from repro.experiments import table4
+
+
+def test_table4_other_kernels(benchmark, bench_runner):
+    report = benchmark.pedantic(
+        lambda: table4.run(profile=PROFILE, runner=bench_runner, split=0.7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    summary = report.summary
+    for kernel in ("spmv-coo", "spmm-csr-4", "spmm-csr-256"):
+        random_all = summary[f"{kernel}|random|all"]
+        rabbit_all = summary[f"{kernel}|rabbit|all"]
+        rabbitpp_all = summary[f"{kernel}|rabbit++|all"]
+        assert rabbit_all < random_all, kernel
+        assert rabbitpp_all < random_all, kernel
+        assert rabbitpp_all <= rabbit_all * 1.3, kernel

@@ -1,0 +1,50 @@
+"""Scenario: how much locality is left on the table after reordering?
+
+The paper's Figure 8 methodology: simulate the L2 under the realistic
+LRU policy and under Belady's oracle, per ordering.  A small LRU-to-
+Belady gap means the ordering has extracted almost all the locality the
+cache could ever exploit — further reordering gains are bounded by that
+gap.  This example also reports dead-line fractions (Table III),
+showing *why* better orderings do better: less wasted cache capacity.
+"""
+
+from repro import load_graph, make_technique
+from repro.gpu.perf import model_run
+from repro.gpu.specs import scaled_platform
+from repro.sparse.permute import permute_symmetric
+from repro.trace.kernel_traces import spmv_csr_trace
+
+TECHNIQUES = ("random", "original", "dbg", "rabbit", "rabbit++")
+
+
+def main() -> None:
+    graph = load_graph("bench-web")
+    platform = scaled_platform("bench")
+    print(f"matrix: bench-web ({graph.n_nodes} nodes, {graph.n_edges} entries)")
+    print(f"L2: {platform.l2_capacity_bytes // 1024} KiB, "
+          f"{platform.ways}-way, {platform.line_bytes} B lines")
+    print()
+    print(f"{'ordering':10s} {'LRU':>8s} {'Belady':>8s} {'gap':>7s} {'dead lines':>11s}")
+
+    for name in TECHNIQUES:
+        permutation = make_technique(name).compute(graph)
+        csr = permute_symmetric(graph.adjacency, permutation)
+        trace = spmv_csr_trace(csr, line_bytes=platform.line_bytes)
+        lru = model_run(trace, platform, policy="lru")
+        opt = model_run(trace, platform, policy="belady")
+        gap = lru.normalized_traffic / opt.normalized_traffic
+        print(
+            f"{name:10s} {lru.normalized_traffic:8.3f} "
+            f"{opt.normalized_traffic:8.3f} {gap:7.3f} "
+            f"{lru.stats.dead_line_fraction:11.1%}"
+        )
+
+    print()
+    print("The gap narrows as the ordering improves: a well-ordered matrix")
+    print("leaves even an oracle replacement policy little to exploit —")
+    print("the paper's evidence that RABBIT++ is close to the achievable")
+    print("locality limit for SpMV on this platform.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Scenario: recovering a lost mesh ordering for CFD SpMV.
+
+Mesh matrices from CFD solvers have near-perfect locality in their
+natural (spatial) order, but public datasets often ship them scrambled
+(the paper's Observation 3: ORIGINAL order is an arbitrary publisher
+choice).  This example shows that on a scrambled 2-D stencil both the
+bandwidth-minimizing classic (RCM) and community ordering (RABBIT)
+recover locality, and compares them against the true spatial order.
+"""
+
+from repro import evaluate_ordering, load_graph, make_technique
+from repro.graphs.generators import grid_2d
+from repro.graphs.graph import Graph
+from repro.gpu.specs import scaled_platform
+from repro.metrics.locality import average_neighbor_span, matrix_bandwidth
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.permute import permute_symmetric
+
+
+def main() -> None:
+    platform = scaled_platform("bench")
+    scrambled = load_graph("bench-mesh")  # 64x64 grid, scrambled publisher order
+    pristine = Graph(coo_to_csr(grid_2d(64, 64)))
+
+    print("matrix: 64x64 five-point stencil (4096 unknowns)")
+    print()
+    print(f"{'ordering':12s} {'bandwidth':>10s} {'avg span':>10s} "
+          f"{'traffic':>9s} {'runtime':>9s}")
+
+    def report(label, graph, permutation=None):
+        csr = graph.adjacency
+        if permutation is not None:
+            csr = permute_symmetric(csr, permutation)
+        run = evaluate_ordering(csr, platform=platform)
+        print(
+            f"{label:12s} {matrix_bandwidth(csr):10d} "
+            f"{average_neighbor_span(csr):10.1f} "
+            f"{run.normalized_traffic:9.3f} {run.normalized_runtime:9.3f}"
+        )
+
+    report("spatial", pristine)
+    report("scrambled", scrambled)
+    for name in ("rcm", "rabbit", "rabbit++", "gorder"):
+        report(name, scrambled, make_technique(name).compute(scrambled))
+
+    print()
+    print("RCM minimizes bandwidth (its objective); community ordering gets")
+    print("traffic just as close to compulsory because what matters for the")
+    print("cache is the size of the active neighborhood, not the bandwidth")
+    print("itself — the paper's argument for community-based reordering as")
+    print("the universal default.")
+
+
+if __name__ == "__main__":
+    main()

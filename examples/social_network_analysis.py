@@ -1,0 +1,85 @@
+"""Scenario: diagnosing why reordering struggles on a social network.
+
+Social graphs combine community structure with heavy degree skew — the
+regime where the paper shows plain community ordering (RABBIT) falls
+short and RABBIT++'s insular/hub grouping recovers performance
+(Sections V and VI).  This example reproduces that diagnosis end to
+end on a synthetic social matrix:
+
+1. measure structure: insularity, skew, insular-node fraction;
+2. sweep the reordering design space;
+3. show where the RABBIT++ gains come from (hub footprint).
+"""
+
+import numpy as np
+
+from repro import evaluate_ordering, load_graph, make_technique
+from repro.gpu.specs import scaled_platform
+from repro.metrics.insularity import insular_mask, insular_node_fraction, insularity
+from repro.metrics.locality import hub_cache_footprint_bytes
+from repro.metrics.skew import degree_skew
+from repro.reorder.rabbit import RabbitOrder
+
+
+def main() -> None:
+    graph = load_graph("bench-social")
+    platform = scaled_platform("bench")
+
+    # --- 1. structure diagnosis -------------------------------------
+    detection = RabbitOrder().detect(graph)
+    assignment = detection.assignment
+    print("structure diagnosis")
+    print(f"  nodes / entries          {graph.n_nodes} / {graph.n_edges}")
+    print(f"  communities detected     {assignment.n_communities}")
+    print(f"  insularity               {insularity(graph, assignment):.3f}")
+    print(f"  insular-node fraction    {insular_node_fraction(graph, assignment):.3f}")
+    print(f"  degree skew (top 10%)    {degree_skew(graph):.3f}")
+    print()
+
+    # --- 2. design-space sweep ---------------------------------------
+    print("design-space sweep (SpMV, normalized to ideal)")
+    techniques = (
+        "random",
+        "original",
+        "degsort",
+        "dbg",
+        "rabbit",
+        "rabbit+insular",
+        "rabbit+hubsort",
+        "rabbit+hubgroup",
+        "rabbit++",
+    )
+    for name in techniques:
+        permutation = make_technique(name).compute(graph)
+        run = evaluate_ordering(graph, permutation, platform=platform)
+        print(
+            f"  {name:16s} traffic={run.normalized_traffic:6.3f}  "
+            f"runtime={run.normalized_runtime:6.3f}  "
+            f"dead-lines={run.stats.dead_line_fraction:5.1%}"
+        )
+    print()
+
+    # --- 3. where do the gains come from? ----------------------------
+    in_degrees = np.asarray(graph.in_degrees())
+    hubs = in_degrees > graph.average_degree()
+    insular = insular_mask(graph, assignment)
+
+    rabbit_perm = make_technique("rabbit").compute(graph)
+    rabbitpp_perm = make_technique("rabbit++").compute(graph)
+    hub_ids_rabbit = rabbit_perm[hubs & ~insular]
+    hub_ids_rabbitpp = rabbitpp_perm[hubs & ~insular]
+    print("hub working-set footprint in the input vector")
+    print(
+        f"  under RABBIT    {hub_cache_footprint_bytes(hub_ids_rabbit) / 1024:.1f} KiB"
+    )
+    print(
+        f"  under RABBIT++  {hub_cache_footprint_bytes(hub_ids_rabbitpp) / 1024:.1f} KiB"
+    )
+    print()
+    print("Grouping the non-insular hubs packs the most-reused input-vector")
+    print("entries into the fewest cache lines — the same mechanism the paper")
+    print("reports for sx-stackoverflow (5.5 MB -> 1.7 MB).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Trace-driven cache simulator (paper Section VI-B).
+
+The paper validates its analysis with a simulator of the A6000's L2
+("within 4% of the real-GPU numbers"); this package is that simulator.
+It consumes line-granular access traces (see :mod:`repro.trace`),
+models a set-associative cache with LRU or Belady (optimal)
+replacement, and reports hits/misses, DRAM traffic, per-region miss
+splits, and dead-line statistics (Table III).
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.lru import simulate_lru
+from repro.cache.belady import simulate_belady
+from repro.cache.hierarchy import HierarchyStats, simulate_hierarchy
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "HierarchyStats",
+    "simulate_belady",
+    "simulate_hierarchy",
+    "simulate_lru",
+]

@@ -1,0 +1,73 @@
+"""Cache geometry configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative cache.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total data capacity.
+    line_bytes:
+        Line (sector) size.  The A6000's L2 transacts 32-byte sectors,
+        which is the default used throughout the experiments.
+    ways:
+        Associativity.  ``capacity_bytes / (line_bytes * ways)`` must be
+        a power-of-two set count.
+    """
+
+    capacity_bytes: int
+    line_bytes: int = 32
+    ways: int = 16
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ValidationError(
+                f"cache geometry must be positive: {self.capacity_bytes}B, "
+                f"{self.line_bytes}B lines, {self.ways} ways"
+            )
+        if not _is_power_of_two(self.line_bytes):
+            raise ValidationError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        total_lines = self.capacity_bytes // self.line_bytes
+        if total_lines * self.line_bytes != self.capacity_bytes:
+            raise ValidationError(
+                f"capacity ({self.capacity_bytes}) must be a multiple of line size ({self.line_bytes})"
+            )
+        if total_lines % self.ways != 0:
+            raise ValidationError(
+                f"capacity/line_bytes ({total_lines}) must be divisible by ways ({self.ways})"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.ways
+
+    @property
+    def set_mask(self) -> int:
+        """Bit mask for set selection; only valid for power-of-two sets.
+
+        Real GPU L2s (e.g. the A6000: 12288 sets) are not power-of-two;
+        the simulators therefore index sets with ``line % n_sets``,
+        which this property complements for the common power-of-two
+        fast path in tests.
+        """
+        return self.n_sets - 1
+
+    @property
+    def has_power_of_two_sets(self) -> bool:
+        return _is_power_of_two(self.n_sets)

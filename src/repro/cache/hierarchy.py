@@ -1,0 +1,148 @@
+"""Two-level (L1 + L2) cache hierarchy simulation.
+
+Rabbit Order's stated design goal is to map *hierarchical* communities
+onto the multi-level cache hierarchy: innermost communities to the
+small fast cache, outer communities to the larger one (paper Section
+V-A).  The single-level simulator cannot observe that property; this
+module simulates an inclusive two-level LRU hierarchy so the
+hierarchy-mapping claim becomes measurable (see
+``repro.experiments.hierarchy_ablation``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.errors import ValidationError
+
+_CHUNK = 1 << 20
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level statistics of a two-level simulation.
+
+    ``l1`` counts every trace access; ``l2`` only sees L1 misses, so
+    ``l2.accesses == l1.misses``.  DRAM traffic is ``l2.traffic_bytes``.
+    """
+
+    l1: CacheStats
+    l2: CacheStats
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1.hit_rate
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2.hit_rate
+
+    @property
+    def dram_traffic_bytes(self) -> int:
+        return self.l2.traffic_bytes
+
+    def check_consistency(self) -> None:
+        self.l1.check_consistency()
+        self.l2.check_consistency()
+        if self.l2.accesses != self.l1.misses:
+            raise AssertionError(
+                f"L2 accesses ({self.l2.accesses}) != L1 misses ({self.l1.misses})"
+            )
+
+
+def simulate_hierarchy(
+    trace: np.ndarray,
+    l1_config: CacheConfig,
+    l2_config: CacheConfig,
+) -> HierarchyStats:
+    """Simulate an inclusive L1 -> L2 LRU hierarchy over ``trace``.
+
+    Both levels must share a line size (refills are line-granular).
+    Inclusive means every L1 insert also touches L2; L2 evictions do
+    not back-invalidate L1 (the common GPU-L1/L2 arrangement, where L1
+    is small enough that stale lines age out quickly).
+    """
+    if l1_config.line_bytes != l2_config.line_bytes:
+        raise ValidationError(
+            f"line sizes differ: L1 {l1_config.line_bytes} vs L2 {l2_config.line_bytes}"
+        )
+    if l1_config.capacity_bytes > l2_config.capacity_bytes:
+        raise ValidationError(
+            "L1 must not be larger than L2 "
+            f"({l1_config.capacity_bytes} > {l2_config.capacity_bytes})"
+        )
+    trace = np.ascontiguousarray(np.asarray(trace, dtype=np.int64))
+
+    l1_sets: List[OrderedDict] = [OrderedDict() for _ in range(l1_config.n_sets)]
+    l2_sets: List[OrderedDict] = [OrderedDict() for _ in range(l2_config.n_sets)]
+    l1_sets_count, l1_ways = l1_config.n_sets, l1_config.ways
+    l2_sets_count, l2_ways = l2_config.n_sets, l2_config.ways
+
+    l1_hits = l1_evict = l1_dead = 0
+    l2_hits = l2_miss = l2_evict = l2_dead = 0
+    l1_miss = 0
+
+    for start in range(0, trace.size, _CHUNK):
+        for line in trace[start: start + _CHUNK].tolist():
+            l1_set = l1_sets[line % l1_sets_count]
+            if line in l1_set:
+                l1_set[line] = True
+                l1_set.move_to_end(line)
+                l1_hits += 1
+                continue
+            l1_miss += 1
+            l1_set[line] = False
+            if len(l1_set) > l1_ways:
+                _, reused = l1_set.popitem(last=False)
+                l1_evict += 1
+                if not reused:
+                    l1_dead += 1
+            # L1 miss falls through to L2.
+            l2_set = l2_sets[line % l2_sets_count]
+            if line in l2_set:
+                l2_set[line] = True
+                l2_set.move_to_end(line)
+                l2_hits += 1
+            else:
+                l2_miss += 1
+                l2_set[line] = False
+                if len(l2_set) > l2_ways:
+                    _, reused = l2_set.popitem(last=False)
+                    l2_evict += 1
+                    if not reused:
+                        l2_dead += 1
+
+    l1_dead_end = sum(
+        1 for s in l1_sets for reused in s.values() if not reused
+    )
+    l2_dead_end = sum(
+        1 for s in l2_sets for reused in s.values() if not reused
+    )
+    stats = HierarchyStats(
+        l1=CacheStats(
+            accesses=int(trace.size),
+            hits=l1_hits,
+            misses=l1_miss,
+            evictions=l1_evict,
+            dead_evictions=l1_dead,
+            dead_at_end=l1_dead_end,
+            line_bytes=l1_config.line_bytes,
+        ),
+        l2=CacheStats(
+            accesses=l1_miss,
+            hits=l2_hits,
+            misses=l2_miss,
+            evictions=l2_evict,
+            dead_evictions=l2_dead,
+            dead_at_end=l2_dead_end,
+            line_bytes=l2_config.line_bytes,
+        ),
+    )
+    stats.check_consistency()
+    return stats

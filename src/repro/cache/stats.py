@@ -1,0 +1,74 @@
+"""Simulation result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Counters produced by one cache simulation.
+
+    ``region_misses`` maps a region name (e.g. ``"x"``, ``"coords"``)
+    to its miss count when the trace carried region boundaries; the
+    performance model charges irregular-region misses at reduced DRAM
+    efficiency.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Insertions later evicted without a single re-reference.
+    dead_evictions: int = 0
+    #: Lines still resident at the end that were never re-referenced.
+    dead_at_end: int = 0
+    line_bytes: int = 32
+    region_misses: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def insertions(self) -> int:
+        """Every miss inserts a line."""
+        return self.misses
+
+    @property
+    def dead_lines(self) -> int:
+        return self.dead_evictions + self.dead_at_end
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def dead_line_fraction(self) -> float:
+        """Fraction of inserted lines never reused (paper Table III)."""
+        if self.insertions == 0:
+            return 0.0
+        return self.dead_lines / self.insertions
+
+    @property
+    def traffic_bytes(self) -> int:
+        """DRAM read traffic: one line fetch per miss."""
+        return self.misses * self.line_bytes
+
+    def check_consistency(self) -> None:
+        """Raise if the counters violate basic accounting identities."""
+        if self.hits + self.misses != self.accesses:
+            raise AssertionError(
+                f"hits ({self.hits}) + misses ({self.misses}) != accesses ({self.accesses})"
+            )
+        if self.evictions > self.misses:
+            raise AssertionError(
+                f"evictions ({self.evictions}) exceed insertions ({self.misses})"
+            )
+        if self.dead_evictions > self.evictions:
+            raise AssertionError(
+                f"dead evictions ({self.dead_evictions}) exceed evictions ({self.evictions})"
+            )
+        if self.region_misses and sum(self.region_misses.values()) != self.misses:
+            raise AssertionError(
+                f"region miss split {self.region_misses} does not sum to misses ({self.misses})"
+            )

@@ -1,0 +1,149 @@
+"""Command-line interface.
+
+Examples::
+
+    repro corpus list --profile bench
+    repro metrics soc-forum
+    repro evaluate soc-forum --technique rabbit++
+    repro experiment fig2 --profile bench
+    repro export soc-forum /tmp/soc-forum.mtx
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.report import render_table
+from repro.experiments.run_all import ABLATIONS, DRIVERS, run_experiment
+from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import PROFILES, load_matrix, selection_report
+from repro.graphs.io import write_matrix_market
+from repro.reorder.registry import available_techniques
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Community-based matrix reordering reproduction (ISPASS 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    corpus = subparsers.add_parser("corpus", help="inspect the input corpus")
+    corpus.add_argument("action", choices=["list"])
+    corpus.add_argument("--profile", default="full", choices=PROFILES)
+    corpus.set_defaults(handler=_cmd_corpus)
+
+    export = subparsers.add_parser("export", help="write a corpus matrix as MatrixMarket")
+    export.add_argument("matrix")
+    export.add_argument("path")
+    export.set_defaults(handler=_cmd_export)
+
+    metrics = subparsers.add_parser("metrics", help="structure metrics of a matrix")
+    metrics.add_argument("matrix")
+    metrics.add_argument("--profile", default="full", choices=PROFILES)
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    evaluate = subparsers.add_parser("evaluate", help="model one reordered kernel run")
+    evaluate.add_argument("matrix")
+    evaluate.add_argument("--technique", default="rabbit++", choices=available_techniques())
+    evaluate.add_argument("--kernel", default="spmv-csr")
+    evaluate.add_argument("--policy", default="lru", choices=["lru", "belady"])
+    evaluate.add_argument("--profile", default="full", choices=PROFILES)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument(
+        "name", choices=sorted(DRIVERS) + sorted(ABLATIONS) + ["all"]
+    )
+    experiment.add_argument("--profile", default="full", choices=PROFILES)
+    experiment.add_argument(
+        "--figure",
+        action="store_true",
+        help="also render an ASCII bar chart over the first numeric column",
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    techniques = subparsers.add_parser("techniques", help="list reordering techniques")
+    techniques.set_defaults(handler=_cmd_techniques)
+    return parser
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    records = selection_report(args.profile)
+    rows = [
+        [r.name, r.category, r.n_nodes, r.nnz, f"{r.avg_degree:.2f}",
+         "yes" if r.selected else f"no ({r.reason})"]
+        for r in records
+    ]
+    print(render_table(["matrix", "category", "nodes", "nnz", "avg_deg", "selected"], rows))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    matrix = load_matrix(args.matrix)
+    write_matrix_market(matrix, args.path, comment=f"repro corpus entry {args.matrix}")
+    print(f"wrote {args.matrix} ({matrix.shape}, nnz={matrix.nnz}) to {args.path}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(args.profile)
+    metrics = runner.matrix_metrics(args.matrix)
+    for key, value in sorted(metrics.to_json().items()):
+        print(f"{key:32s} {value}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(args.profile)
+    record = runner.run(
+        args.matrix, args.technique, kernel=args.kernel, policy=args.policy
+    )
+    for key, value in sorted(record.to_json().items()):
+        print(f"{key:24s} {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = sorted(DRIVERS) if args.name == "all" else [args.name]
+    runner = ExperimentRunner(args.profile)
+    for name in names:
+        report = run_experiment(name, profile=args.profile, runner=runner)
+        print(report.to_text())
+        if getattr(args, "figure", False):
+            column = _first_numeric_column(report.rows)
+            if column is not None:
+                print()
+                print(report.to_figure(value_column=column))
+        print()
+    return 0
+
+
+def _first_numeric_column(rows) -> Optional[int]:
+    if not rows:
+        return None
+    for column, value in enumerate(rows[0]):
+        if column > 0 and isinstance(value, float):
+            return column
+    return None
+
+
+def _cmd_techniques(args: argparse.Namespace) -> int:
+    for name in available_techniques():
+        print(name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Community detection substrate.
+
+RABBIT's core is modularity-maximizing community detection (paper
+Section V-A).  This subpackage implements:
+
+* :class:`CommunityAssignment` — a validated labels container;
+* :func:`modularity` — Newman–Girvan modularity of an assignment;
+* :func:`louvain` — the classic two-phase Louvain method (reference
+  detector, used for cross-validation);
+* :func:`rabbit_communities` — Rabbit-style single-visit incremental
+  aggregation that also records the merge dendrogram whose depth-first
+  traversal yields the RABBIT node ordering.
+"""
+
+from repro.community.assignment import CommunityAssignment
+from repro.community.dendrogram import Dendrogram
+from repro.community.louvain import louvain
+from repro.community.modularity import modularity
+from repro.community.rabbit import RabbitResult, rabbit_communities
+
+__all__ = [
+    "CommunityAssignment",
+    "Dendrogram",
+    "RabbitResult",
+    "louvain",
+    "modularity",
+    "rabbit_communities",
+]

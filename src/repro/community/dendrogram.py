@@ -1,0 +1,121 @@
+"""Merge forest (dendrogram) recording community aggregation.
+
+Rabbit's ordering step is a depth-first traversal of the merge tree
+produced by community detection: every community's members receive
+consecutive IDs, and hierarchically nested sub-communities stay
+consecutive inside their parent (paper Section V-A).  The forest is
+stored directly over the original vertices: when vertex ``v`` (and the
+community it represents) is absorbed into the community represented by
+``u``, ``v`` becomes a child of ``u``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class Dendrogram:
+    """A forest over ``n_leaves`` vertices built by ``absorb`` calls."""
+
+    __slots__ = ("n_leaves", "_children", "_absorbed")
+
+    def __init__(self, n_leaves: int) -> None:
+        if n_leaves < 0:
+            raise ValidationError(f"n_leaves must be non-negative, got {n_leaves}")
+        self.n_leaves = int(n_leaves)
+        self._children: List[List[int]] = [[] for _ in range(self.n_leaves)]
+        self._absorbed = np.zeros(self.n_leaves, dtype=bool)
+
+    def absorb(self, winner: int, loser: int) -> None:
+        """Record that ``loser``'s subtree was merged under ``winner``."""
+        if not 0 <= winner < self.n_leaves or not 0 <= loser < self.n_leaves:
+            raise ValidationError(
+                f"absorb({winner}, {loser}) out of range for {self.n_leaves} leaves"
+            )
+        if winner == loser:
+            raise ValidationError(f"a vertex cannot absorb itself ({winner})")
+        if self._absorbed[loser]:
+            raise ValidationError(f"vertex {loser} was already absorbed")
+        if self._absorbed[winner]:
+            raise ValidationError(
+                f"absorbed vertex {winner} cannot win a merge; use its root"
+            )
+        self._children[winner].append(loser)
+        self._absorbed[loser] = True
+
+    def children(self, vertex: int) -> List[int]:
+        return list(self._children[vertex])
+
+    def roots(self) -> np.ndarray:
+        """Vertices never absorbed, in ascending ID order."""
+        return np.flatnonzero(~self._absorbed)
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Number of vertices in each vertex's subtree (itself included)."""
+        sizes = np.ones(self.n_leaves, dtype=np.int64)
+        for vertex in self._topological_order():
+            for child in self._children[vertex]:
+                sizes[vertex] += sizes[child]
+        return sizes
+
+    def _topological_order(self) -> List[int]:
+        """Vertices ordered children-before-parent."""
+        order: List[int] = []
+        for root in self.roots():
+            stack = [int(root)]
+            seen_at: List[int] = []
+            while stack:
+                vertex = stack.pop()
+                seen_at.append(vertex)
+                stack.extend(self._children[vertex])
+            order.extend(reversed(seen_at))
+        return order
+
+    def dfs_leaf_order(self, root_order: Optional[Iterable[int]] = None) -> np.ndarray:
+        """All vertices in depth-first visit order.
+
+        Each vertex is visited before its children; children are visited
+        in absorption order, so earlier merges sit closer to the
+        community representative.  ``root_order`` optionally overrides
+        the order in which trees are traversed (default: ascending root
+        ID); it must enumerate exactly the roots.
+        """
+        if root_order is None:
+            roots = list(self.roots())
+        else:
+            roots = [int(root) for root in root_order]
+            expected = set(int(root) for root in self.roots())
+            if set(roots) != expected or len(roots) != len(expected):
+                raise ValidationError("root_order must enumerate exactly the forest roots")
+        visit = np.empty(self.n_leaves, dtype=np.int64)
+        cursor = 0
+        for root in roots:
+            stack = [root]
+            while stack:
+                vertex = stack.pop()
+                visit[cursor] = vertex
+                cursor += 1
+                # Reverse so absorption order is preserved by the stack.
+                stack.extend(reversed(self._children[vertex]))
+        if cursor != self.n_leaves:
+            raise ValidationError(
+                f"traversal visited {cursor} of {self.n_leaves} vertices; forest is inconsistent"
+            )
+        return visit
+
+    def ordering(self, root_order: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Permutation ``new_id[old_id]`` induced by the DFS traversal."""
+        visit = self.dfs_leaf_order(root_order)
+        perm = np.empty(self.n_leaves, dtype=np.int64)
+        perm[visit] = np.arange(self.n_leaves, dtype=np.int64)
+        return perm
+
+    def __repr__(self) -> str:
+        return (
+            f"Dendrogram(n_leaves={self.n_leaves}, "
+            f"n_roots={int((~self._absorbed).sum())})"
+        )

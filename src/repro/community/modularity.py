@@ -1,0 +1,77 @@
+"""Newman–Girvan modularity.
+
+Modularity is "the fraction of edges in a graph that only connect
+vertices of the same community minus the expected fraction if edges
+were randomly distributed" (paper Section V-A):
+
+    Q = sum_c [ w_in(c) / (2m) - (d(c) / (2m))^2 ]
+
+where ``w_in(c)`` is twice the total weight of intra-community edges of
+community ``c`` (each counted from both endpoints), ``d(c)`` is the sum
+of weighted degrees of its members, and ``2m`` is the total weighted
+degree of the graph.  Self-loops count toward both ``w_in`` and ``d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community.assignment import CommunityAssignment
+from repro.errors import ShapeError
+from repro.graphs.graph import Graph
+from repro.sparse.csr import CSRMatrix
+
+
+def modularity(graph: Graph, assignment: CommunityAssignment) -> float:
+    """Modularity of ``assignment`` on the undirected view of ``graph``."""
+    undirected = graph.to_undirected()
+    return modularity_csr(undirected.adjacency, assignment.labels)
+
+
+def modularity_csr(adjacency: CSRMatrix, labels: np.ndarray) -> float:
+    """Modularity on a symmetric CSR adjacency (no symmetrization pass)."""
+    labels = np.asarray(labels)
+    if labels.shape != (adjacency.n_rows,):
+        raise ShapeError(
+            f"labels shape {labels.shape} != ({adjacency.n_rows},)"
+        )
+    total_weight = float(adjacency.values.sum())  # == 2m for symmetric input
+    if total_weight == 0.0:
+        return 0.0
+    # Intra-community edge weight, counted from both endpoints.
+    row_of_entry = np.repeat(
+        np.arange(adjacency.n_rows), np.diff(adjacency.row_offsets)
+    )
+    intra = labels[row_of_entry] == labels[adjacency.col_indices]
+    w_in = float(adjacency.values[intra].sum())
+    # Community degree sums.
+    degrees = np.zeros(adjacency.n_rows, dtype=np.float64)
+    np.add.at(degrees, row_of_entry, adjacency.values)
+    n_labels = int(labels.max()) + 1 if labels.size else 0
+    community_degree = np.zeros(n_labels, dtype=np.float64)
+    np.add.at(community_degree, labels, degrees)
+    expected = float(np.sum((community_degree / total_weight) ** 2))
+    return w_in / total_weight - expected
+
+
+def modularity_gain(
+    weight_to_community: float,
+    node_degree: float,
+    community_degree: float,
+    total_weight: float,
+) -> float:
+    """Gain in modularity from moving an isolated node into a community.
+
+    ``weight_to_community`` is the edge weight between the node and the
+    target community, ``node_degree`` the node's weighted degree,
+    ``community_degree`` the community's current degree sum (excluding
+    the node itself), and ``total_weight`` equals ``2m``.  This is the
+    exact Louvain ΔQ:
+
+        ΔQ = (2 / 2m) * (k_in - k_i * Σ_tot / 2m)
+    """
+    return (
+        2.0
+        / total_weight
+        * (weight_to_community - node_degree * community_degree / total_weight)
+    )

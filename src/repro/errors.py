@@ -1,0 +1,36 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value violates a documented invariant.
+
+    Subclasses ``ValueError`` so call sites that predate the library's
+    own hierarchy (``except ValueError``) keep working.
+    """
+
+
+class ShapeError(ValidationError):
+    """Array shapes are inconsistent with each other or with metadata."""
+
+
+class FormatError(ValidationError):
+    """A sparse-matrix container violates its format invariants."""
+
+
+class CorpusError(ReproError, KeyError):
+    """A corpus entry was requested that does not exist."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,22 @@
+"""Experiment harness: one driver per paper table/figure.
+
+Every artifact of the paper's evaluation has a module here exposing
+``run(profile=...) -> ExperimentReport``; the benchmarks under
+``benchmarks/`` call these drivers and print the regenerated rows next
+to the paper's published values (recorded in EXPERIMENTS.md).
+
+The shared machinery lives in :mod:`repro.experiments.runner`
+(simulation + permutation + metrics with on-disk memoization) and
+:mod:`repro.experiments.report` (plain-text table rendering).
+"""
+
+from repro.experiments.runner import ExperimentRunner, MatrixMetrics, RunRecord
+from repro.experiments.report import ExperimentReport, render_table
+
+__all__ = [
+    "ExperimentReport",
+    "ExperimentRunner",
+    "MatrixMetrics",
+    "RunRecord",
+    "render_table",
+]

@@ -1,0 +1,87 @@
+"""Figure 2: SpMV DRAM traffic (normalized to compulsory) by technique.
+
+The paper's headline characterization: across the corpus, RANDOM
+averages 3.36x compulsory traffic, ORIGINAL 1.54x, DEGSORT 1.61x,
+DBG 1.48x, GORDER 1.29x and RABBIT 1.27x; the caption also reports the
+run-time means (6.21x / 1.96x / 2.17x / 1.94x / 1.56x / 1.54x ideal).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+
+TECHNIQUES = ("random", "original", "degsort", "dbg", "gorder", "rabbit")
+
+PAPER_TRAFFIC = {
+    "random": 3.36,
+    "original": 1.54,
+    "degsort": 1.61,
+    "dbg": 1.48,
+    "gorder": 1.29,
+    "rabbit": 1.27,
+}
+PAPER_RUNTIME = {
+    "random": 6.21,
+    "original": 1.96,
+    "degsort": 2.17,
+    "dbg": 1.94,
+    "gorder": 1.56,
+    "rabbit": 1.54,
+}
+
+
+def run(
+    profile: str = "full",
+    runner: Optional[ExperimentRunner] = None,
+    techniques: Sequence[str] = TECHNIQUES,
+) -> ExperimentReport:
+    runner = runner if runner is not None else ExperimentRunner(profile)
+    headers = ["matrix"] + [f"{t}" for t in techniques]
+    rows = []
+    traffic = {t: [] for t in techniques}
+    runtime = {t: [] for t in techniques}
+    for matrix in runner.matrices():
+        row: list = [matrix]
+        for technique in techniques:
+            record = runner.run(matrix, technique, kernel="spmv-csr")
+            row.append(record.normalized_traffic)
+            traffic[technique].append(record.normalized_traffic)
+            runtime[technique].append(record.normalized_runtime)
+        rows.append(row)
+
+    summary = {}
+    reference = {}
+    for technique in techniques:
+        summary[f"mean_traffic_{technique}"] = arithmetic_mean(traffic[technique])
+        summary[f"mean_runtime_{technique}"] = arithmetic_mean(runtime[technique])
+        if technique in PAPER_TRAFFIC:
+            reference[f"mean_traffic_{technique}"] = PAPER_TRAFFIC[technique]
+            reference[f"mean_runtime_{technique}"] = PAPER_RUNTIME[technique]
+    # Observation 1: count of matrices within 10% of compulsory traffic
+    # under the best technique.
+    best_per_matrix = [
+        min(traffic[t][i] for t in techniques) for i in range(len(rows))
+    ]
+    summary["matrices_within_10pct_of_ideal"] = float(
+        sum(1 for value in best_per_matrix if value <= 1.10)
+    )
+    # Observation 4: matrices where RABBIT is the single best technique.
+    if "rabbit" in techniques:
+        summary["rabbit_best_count"] = float(
+            sum(
+                1
+                for i in range(len(rows))
+                if traffic["rabbit"][i] <= best_per_matrix[i] + 1e-12
+            )
+        )
+    return ExperimentReport(
+        experiment="fig2",
+        title="SpMV DRAM traffic normalized to compulsory traffic",
+        headers=headers,
+        rows=rows,
+        summary=summary,
+        paper_reference=reference,
+    )

@@ -1,0 +1,75 @@
+"""Figure 3: RABBIT run time (normalized to ideal) vs. matrix insularity.
+
+The paper orders matrices by increasing insularity and shows RABBIT
+approaching ideal as insularity grows: within 26% of ideal for
+insularity >= 0.95, vs. 1.81x ideal below — with mawi as the
+giant-community exception despite its 0.988 insularity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+
+INSULARITY_SPLIT = 0.95
+
+PAPER = {
+    "mean_runtime_high_insularity": 1.26,
+    "mean_runtime_low_insularity": 1.81,
+}
+
+
+def run(
+    profile: str = "full",
+    runner: Optional[ExperimentRunner] = None,
+    split: float = INSULARITY_SPLIT,
+) -> ExperimentReport:
+    runner = runner if runner is not None else ExperimentRunner(profile)
+    entries = []
+    for matrix in runner.matrices():
+        metrics = runner.matrix_metrics(matrix)
+        record = runner.run(matrix, "rabbit", kernel="spmv-csr")
+        entries.append((metrics.insularity, matrix, metrics, record))
+    entries.sort(key=lambda item: item[0])
+
+    rows = []
+    high = []
+    low = []
+    for ins, matrix, metrics, record in entries:
+        rows.append(
+            [
+                matrix,
+                ins,
+                record.normalized_runtime,
+                metrics.normalized_avg_community_size,
+                metrics.largest_community_fraction,
+            ]
+        )
+        if ins >= split:
+            high.append(record.normalized_runtime)
+        else:
+            low.append(record.normalized_runtime)
+
+    summary = {}
+    if high:
+        summary["mean_runtime_high_insularity"] = arithmetic_mean(high)
+    if low:
+        summary["mean_runtime_low_insularity"] = arithmetic_mean(low)
+    summary["n_high_insularity"] = float(len(high))
+    summary["n_low_insularity"] = float(len(low))
+    return ExperimentReport(
+        experiment="fig3",
+        title=f"RABBIT SpMV run time vs insularity (split at {split})",
+        headers=[
+            "matrix",
+            "insularity",
+            "runtime/ideal",
+            "avg_comm_size/n",
+            "largest_comm_frac",
+        ],
+        rows=rows,
+        summary=summary,
+        paper_reference=PAPER,
+    )

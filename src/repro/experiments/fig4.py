@@ -1,0 +1,48 @@
+"""Figure 4: percentage of insular nodes per matrix.
+
+The paper's motivating observation for RABBIT++: even low-insularity
+matrices have a substantial fraction of insular nodes (nodes only
+referenced from within their community), so community structure is
+exploitable even where RABBIT's aggregate benefit is small.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.fig3 import INSULARITY_SPLIT
+
+
+def run(
+    profile: str = "full",
+    runner: Optional[ExperimentRunner] = None,
+    split: float = INSULARITY_SPLIT,
+) -> ExperimentReport:
+    runner = runner if runner is not None else ExperimentRunner(profile)
+    entries = []
+    for matrix in runner.matrices():
+        metrics = runner.matrix_metrics(matrix)
+        entries.append((metrics.insularity, matrix, metrics))
+    entries.sort(key=lambda item: item[0])
+
+    rows = []
+    high = []
+    low = []
+    for ins, matrix, metrics in entries:
+        rows.append([matrix, ins, metrics.insular_node_fraction, metrics.skew])
+        (high if ins >= split else low).append(metrics.insular_node_fraction)
+
+    summary = {}
+    if high:
+        summary["mean_insular_fraction_high_ins"] = arithmetic_mean(high)
+    if low:
+        summary["mean_insular_fraction_low_ins"] = arithmetic_mean(low)
+    return ExperimentReport(
+        experiment="fig4",
+        title="Percentage of insular nodes (sorted by insularity)",
+        headers=["matrix", "insularity", "insular_node_fraction", "skew"],
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,81 @@
+"""Figure 7: DRAM traffic reduction of RABBIT++ over RABBIT.
+
+The paper reports a maximum traffic reduction of 1.56x and mean 4.1%
+over all inputs (7.7% over insularity < 0.95 inputs); the run-time
+counterparts are 1.57x max and 5.3% / 9.7% means.  For insularity >=
+0.95 matrices RABBIT++'s traffic is within 1% of RABBIT's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.fig3 import INSULARITY_SPLIT
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+
+PAPER = {
+    "max_traffic_reduction": 1.56,
+    "mean_traffic_reduction_all": 1.041,
+    "mean_traffic_reduction_low_ins": 1.077,
+    "max_speedup": 1.57,
+    "mean_speedup_all": 1.053,
+    "mean_speedup_low_ins": 1.097,
+}
+
+
+def run(
+    profile: str = "full",
+    runner: Optional[ExperimentRunner] = None,
+    split: float = INSULARITY_SPLIT,
+) -> ExperimentReport:
+    runner = runner if runner is not None else ExperimentRunner(profile)
+    rows = []
+    traffic_all = []
+    traffic_low = []
+    speedup_all = []
+    speedup_low = []
+    for matrix in runner.matrices():
+        metrics = runner.matrix_metrics(matrix)
+        rabbit = runner.run(matrix, "rabbit", kernel="spmv-csr")
+        rabbitpp = runner.run(matrix, "rabbit++", kernel="spmv-csr")
+        traffic_reduction = rabbit.traffic_bytes / max(1, rabbitpp.traffic_bytes)
+        speedup = rabbit.modeled_seconds / max(1e-30, rabbitpp.modeled_seconds)
+        rows.append(
+            [
+                matrix,
+                metrics.insularity,
+                metrics.insular_node_fraction,
+                traffic_reduction,
+                speedup,
+            ]
+        )
+        traffic_all.append(traffic_reduction)
+        speedup_all.append(speedup)
+        if metrics.insularity < split:
+            traffic_low.append(traffic_reduction)
+            speedup_low.append(speedup)
+    rows.sort(key=lambda row: row[1])
+    summary = {
+        "max_traffic_reduction": max(traffic_all),
+        "mean_traffic_reduction_all": arithmetic_mean(traffic_all),
+        "max_speedup": max(speedup_all),
+        "mean_speedup_all": arithmetic_mean(speedup_all),
+    }
+    if traffic_low:
+        summary["mean_traffic_reduction_low_ins"] = arithmetic_mean(traffic_low)
+        summary["mean_speedup_low_ins"] = arithmetic_mean(speedup_low)
+    return ExperimentReport(
+        experiment="fig7",
+        title="RABBIT++ traffic reduction and speedup over RABBIT",
+        headers=[
+            "matrix",
+            "insularity",
+            "insular_fraction",
+            "traffic_reduction",
+            "speedup",
+        ],
+        rows=rows,
+        summary=summary,
+        paper_reference=PAPER,
+    )

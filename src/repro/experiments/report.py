@@ -1,0 +1,124 @@
+"""Plain-text experiment reports.
+
+The paper's figures are bar charts over matrices and its tables are
+small grids; both render faithfully as monospace tables, which is what
+the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[_fmt(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row width {len(row)} != header width {len(headers)}: {row!r}"
+            )
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    baseline: float = 0.0,
+) -> str:
+    """Render a horizontal ASCII bar chart (the paper's figures are
+    bar charts over matrices; this gives the drivers a figure-shaped
+    output mode in a terminal).
+
+    ``baseline`` subtracts a reference (e.g. 1.0 for ratios normalized
+    to compulsory/ideal) so bars show the *excess* over the ideal.
+    """
+    if len(labels) != len(values):
+        raise ValidationError(
+            f"labels ({len(labels)}) and values ({len(values)}) differ in length"
+        )
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    if not labels:
+        return "(empty)"
+    shifted = [max(0.0, float(v) - baseline) for v in values]
+    peak = max(shifted) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value, magnitude in zip(labels, values, shifted):
+        bar = "#" * max(0, round(magnitude / peak * width))
+        lines.append(f"{label.ljust(label_width)}  {value:8.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValidationError("geometric mean of an empty sequence")
+    if np.any(array <= 0):
+        raise ValidationError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValidationError("mean of an empty sequence")
+    return float(array.mean())
+
+
+@dataclass
+class ExperimentReport:
+    """A regenerated artifact: rows plus headline summary numbers."""
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    #: Headline scalars, e.g. {"mean_traffic_rabbit": 1.27}.
+    summary: Dict[str, float] = field(default_factory=dict)
+    #: The paper's corresponding numbers, for side-by-side printing.
+    paper_reference: Dict[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(render_table(self.headers, self.rows))
+        if self.summary:
+            lines.append("")
+            lines.append("summary:")
+            for key in sorted(self.summary):
+                reference = self.paper_reference.get(key)
+                suffix = f"   (paper: {reference:.3f})" if reference is not None else ""
+                lines.append(f"  {key:40s} {self.summary[key]:9.3f}{suffix}")
+        return "\n".join(lines)
+
+    def to_figure(self, value_column: int = 1, baseline: float = 0.0) -> str:
+        """Bar-chart rendering over one numeric column of the rows.
+
+        Figure-style experiments (one bar per matrix) read better this
+        way; ``value_column`` selects which column supplies the bar
+        heights and column 0 provides the labels.
+        """
+        labels = [str(row[0]) for row in self.rows]
+        values = [float(row[value_column]) for row in self.rows]
+        header = f"== {self.experiment}: {self.title} =="
+        return header + "\n" + render_bars(labels, values, baseline=baseline)

@@ -1,0 +1,76 @@
+"""Run every experiment driver and collect the reports."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    correlations,
+    corpus_report,
+    fig2,
+    fig3,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    hierarchy_ablation,
+    schedule_ablation,
+    sensitivity,
+    table1,
+    table2,
+    table3,
+    table4,
+    tiling,
+)
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import ExperimentRunner
+
+DRIVERS: Dict[str, Callable[..., ExperimentReport]] = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "sec5-correlations": correlations.run,
+    "table2": table2.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table3": table3.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "table4": table4.run,
+}
+
+#: Extensions beyond the paper (DESIGN.md Section 7); runnable by name
+#: but excluded from :func:`run_all`'s paper-artifact sweep.
+ABLATIONS: Dict[str, Callable[..., ExperimentReport]] = {
+    "corpus-report": corpus_report.run,
+    "ablation-cache-sensitivity": sensitivity.run,
+    "ablation-schedule": schedule_ablation.run,
+    "ablation-hierarchy": hierarchy_ablation.run,
+    "ablation-tiling": tiling.run,
+}
+
+
+def run_experiment(
+    name: str, profile: str = "full", runner: Optional[ExperimentRunner] = None
+) -> ExperimentReport:
+    try:
+        driver = DRIVERS.get(name) or ABLATIONS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {sorted(DRIVERS) + sorted(ABLATIONS)}"
+        ) from None
+    if name == "table1":
+        return driver(profile=profile)
+    return driver(profile=profile, runner=runner)
+
+
+def run_all(profile: str = "full") -> List[ExperimentReport]:
+    """Run every driver, sharing one runner (and its caches)."""
+    runner = ExperimentRunner(profile)
+    reports = []
+    for name in DRIVERS:
+        reports.append(run_experiment(name, profile=profile, runner=runner))
+    return reports

@@ -1,0 +1,64 @@
+"""Extension: row-schedule ablation for the trace model.
+
+Not a paper artifact — an ablation DESIGN.md calls out.  The default
+trace walks rows sequentially, matching the row-major traversal the
+paper's simulator validated against real-GPU counters.  The
+``interleaved`` schedule deals rows round-robin across partitions,
+mimicking many SMs walking their chunks concurrently.  The question
+the ablation answers: do the paper's conclusions depend on the
+schedule?  Expectation: interleaving raises absolute traffic for every
+ordering (the active window spans many chunks) but preserves the
+ordering *ranking* — RABBIT++ <= RABBIT <= RANDOM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+
+TECHNIQUES = ("random", "rabbit", "rabbit++")
+
+
+def run(
+    profile: str = "bench",
+    runner: Optional[ExperimentRunner] = None,
+    matrices: Optional[Sequence[str]] = None,
+) -> ExperimentReport:
+    base = runner if runner is not None else ExperimentRunner(profile)
+    interleaved = ExperimentRunner(
+        profile,
+        platform=base.platform,
+        cache_dir=base.cache_dir,
+        use_cache=base.use_cache,
+        schedule="interleaved",
+    )
+    names = list(matrices) if matrices is not None else base.matrices()[:6]
+
+    rows = []
+    means = {("sequential", t): [] for t in TECHNIQUES}
+    means.update({("interleaved", t): [] for t in TECHNIQUES})
+    for matrix in names:
+        row = [matrix]
+        for technique in TECHNIQUES:
+            sequential = base.run(matrix, technique).normalized_traffic
+            inter = interleaved.run(matrix, technique).normalized_traffic
+            row.extend([sequential, inter])
+            means[("sequential", technique)].append(sequential)
+            means[("interleaved", technique)].append(inter)
+        rows.append(row)
+
+    headers = ["matrix"]
+    for technique in TECHNIQUES:
+        headers.extend([f"{technique}-seq", f"{technique}-int"])
+    summary = {}
+    for (schedule, technique), values in means.items():
+        summary[f"mean_{technique}_{schedule}"] = arithmetic_mean(values)
+    return ExperimentReport(
+        experiment="ablation-schedule",
+        title="Sequential vs interleaved row schedule (traffic/compulsory)",
+        headers=headers,
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,77 @@
+"""Extension: cache-capacity sensitivity of the reordering gap.
+
+Not a paper artifact — an ablation DESIGN.md calls out.  Sweeps the
+modeled L2 capacity and reports the RANDOM-vs-RABBIT++ traffic gap at
+each size.  Expectations: with a tiny cache nothing fits and the
+orderings converge (everything misses); with a huge cache everything
+fits and they converge again (only compulsory misses); reordering pays
+off precisely in the in-between regime the paper's platform sits in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+from repro.gpu.perf import model_run
+from repro.sparse.permute import permute_symmetric
+from repro.trace.kernel_traces import spmv_csr_trace
+
+#: Capacity multipliers relative to the profile platform's L2.
+CAPACITY_FACTORS = (0.125, 0.5, 1, 4, 16, 64)
+
+TECHNIQUES = ("random", "rabbit++")
+
+
+def run(
+    profile: str = "bench",
+    runner: Optional[ExperimentRunner] = None,
+    factors: Sequence[float] = CAPACITY_FACTORS,
+    matrices: Optional[Sequence[str]] = None,
+) -> ExperimentReport:
+    runner = runner if runner is not None else ExperimentRunner(profile)
+    base = runner.platform
+    names = list(matrices) if matrices is not None else runner.matrices()[:4]
+
+    # Traces depend only on the ordering, not the capacity: build once.
+    traces = {}
+    for matrix in names:
+        graph = runner.graph(matrix)
+        for technique in TECHNIQUES:
+            timed = runner.permutation(matrix, technique)
+            permuted = permute_symmetric(graph.adjacency, timed.permutation)
+            traces[matrix, technique] = spmv_csr_trace(
+                permuted, line_bytes=base.line_bytes
+            )
+
+    rows = []
+    gaps = []
+    for factor in factors:
+        capacity = max(base.line_bytes * base.ways, int(base.l2_capacity_bytes * factor))
+        platform = dataclasses.replace(
+            base, name=f"{base.name}-x{factor}", l2_capacity_bytes=capacity
+        )
+        means = {}
+        for technique in TECHNIQUES:
+            values = [
+                model_run(traces[matrix, technique], platform).normalized_traffic
+                for matrix in names
+            ]
+            means[technique] = arithmetic_mean(values)
+        gap = means["random"] / means["rabbit++"]
+        gaps.append(gap)
+        rows.append([factor, capacity // 1024, means["random"], means["rabbit++"], gap])
+
+    return ExperimentReport(
+        experiment="ablation-cache-sensitivity",
+        title="RANDOM vs RABBIT++ traffic gap across L2 capacities",
+        headers=["factor", "L2 KiB", "random", "rabbit++", "gap"],
+        rows=rows,
+        summary={
+            "max_gap": max(gaps),
+            "gap_at_smallest": gaps[0],
+            "gap_at_largest": gaps[-1],
+        },
+    )

@@ -1,0 +1,41 @@
+"""Table I: evaluation-platform specifications."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport
+from repro.gpu.specs import A6000, scaled_platform
+
+
+def run(profile: str = "full") -> ExperimentReport:
+    """Render the paper's Table I next to the scaled simulation platform."""
+    scaled = scaled_platform(profile)
+    rows = []
+    for spec in (A6000, scaled):
+        rows.append(
+            [
+                spec.name,
+                f"{spec.l2_capacity_bytes // 1024} KiB",
+                f"{spec.line_bytes} B",
+                spec.ways,
+                f"{spec.peak_bandwidth_gbs:.0f} GB/s",
+                f"{spec.achievable_bandwidth_gbs:.0f} GB/s",
+                f"{spec.peak_compute_tflops:.1f} TFLOPS",
+            ]
+        )
+    return ExperimentReport(
+        experiment="table1",
+        title="Platform specifications (paper Table I + scaled platform)",
+        headers=[
+            "platform",
+            "L2",
+            "line",
+            "ways",
+            "peak BW",
+            "achievable BW",
+            "SP compute",
+        ],
+        rows=rows,
+        summary={
+            "l2_scale_factor": A6000.l2_capacity_bytes / scaled.l2_capacity_bytes,
+        },
+    )

@@ -1,0 +1,85 @@
+"""Table II: the RABBIT-modification design space.
+
+Six orderings — {RABBIT, RABBIT+HUBSORT, RABBIT+HUBGROUP} x {without,
+with insular-node grouping} — each summarized as mean SpMV run time
+(normalized to ideal) over all matrices and over the two insularity
+classes.  The paper's values:
+
+                      without insular grouping | with insular grouping
+                      ALL    I<.95  I>=.95     | ALL    I<.95  I>=.95
+    RABBIT            1.54   1.81   1.25       | 1.49   1.70   1.25
+    RABBIT+HUBSORT    1.63   1.89   1.35       | 1.57   1.86   1.26
+    RABBIT+HUBGROUP   1.48   1.65   1.29       | 1.46   1.65   1.25
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.fig3 import INSULARITY_SPLIT
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+
+#: (row label, registry technique name) per design-space cell.
+CELLS: Tuple[Tuple[str, str, str], ...] = (
+    ("RABBIT", "without-insular", "rabbit"),
+    ("RABBIT", "with-insular", "rabbit+insular"),
+    ("RABBIT+HUBSORT", "without-insular", "rabbit+hubsort"),
+    ("RABBIT+HUBSORT", "with-insular", "rabbit+hubsort+insular"),
+    ("RABBIT+HUBGROUP", "without-insular", "rabbit+hubgroup"),
+    ("RABBIT+HUBGROUP", "with-insular", "rabbit++"),
+)
+
+PAPER = {
+    "RABBIT|without-insular": (1.54, 1.81, 1.25),
+    "RABBIT|with-insular": (1.49, 1.70, 1.25),
+    "RABBIT+HUBSORT|without-insular": (1.63, 1.89, 1.35),
+    "RABBIT+HUBSORT|with-insular": (1.57, 1.86, 1.26),
+    "RABBIT+HUBGROUP|without-insular": (1.48, 1.65, 1.29),
+    "RABBIT+HUBGROUP|with-insular": (1.46, 1.65, 1.25),
+}
+
+
+def run(
+    profile: str = "full",
+    runner: Optional[ExperimentRunner] = None,
+    split: float = INSULARITY_SPLIT,
+) -> ExperimentReport:
+    runner = runner if runner is not None else ExperimentRunner(profile)
+    matrices = runner.matrices()
+    insularities = {m: runner.matrix_metrics(m).insularity for m in matrices}
+
+    rows: List[List[object]] = []
+    summary: Dict[str, float] = {}
+    reference: Dict[str, float] = {}
+    for row_label, column, technique in CELLS:
+        all_values: List[float] = []
+        low: List[float] = []
+        high: List[float] = []
+        for matrix in matrices:
+            record = runner.run(matrix, technique, kernel="spmv-csr")
+            all_values.append(record.normalized_runtime)
+            (high if insularities[matrix] >= split else low).append(
+                record.normalized_runtime
+            )
+        cell = f"{row_label}|{column}"
+        means = (
+            arithmetic_mean(all_values),
+            arithmetic_mean(low) if low else float("nan"),
+            arithmetic_mean(high) if high else float("nan"),
+        )
+        rows.append([row_label, column, technique, *means])
+        for split_name, value, paper_value in zip(
+            ("all", "low-ins", "high-ins"), means, PAPER[cell]
+        ):
+            key = f"{cell}|{split_name}"
+            summary[key] = value
+            reference[key] = paper_value
+    return ExperimentReport(
+        experiment="table2",
+        title="Design space of RABBIT modifications (mean runtime / ideal)",
+        headers=["row", "column", "technique", "ALL", "INS<split", "INS>=split"],
+        rows=rows,
+        summary=summary,
+        paper_reference=reference,
+    )

@@ -1,0 +1,55 @@
+"""Table III: average percentage of dead cache lines per ordering.
+
+Dead lines are inserted but never re-referenced before eviction.  The
+paper's values: RANDOM 63.31%, ORIGINAL 25.08%, DEGSORT 26.88%, DBG
+25.23%, GORDER 17.73%, RABBIT 22.25%, RABBIT++ 16.37% — RABBIT++
+wastes the least L2 capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+
+TECHNIQUES = ("random", "original", "degsort", "dbg", "gorder", "rabbit", "rabbit++")
+
+PAPER = {
+    "random": 0.6331,
+    "original": 0.2508,
+    "degsort": 0.2688,
+    "dbg": 0.2523,
+    "gorder": 0.1773,
+    "rabbit": 0.2225,
+    "rabbit++": 0.1637,
+}
+
+
+def run(
+    profile: str = "full",
+    runner: Optional[ExperimentRunner] = None,
+    techniques: Sequence[str] = TECHNIQUES,
+) -> ExperimentReport:
+    runner = runner if runner is not None else ExperimentRunner(profile)
+    rows = []
+    summary = {}
+    reference = {}
+    for technique in techniques:
+        fractions = [
+            runner.run(matrix, technique, kernel="spmv-csr").dead_line_fraction
+            for matrix in runner.matrices()
+        ]
+        mean = arithmetic_mean(fractions)
+        rows.append([technique, mean])
+        summary[f"dead_fraction_{technique}"] = mean
+        if technique in PAPER:
+            reference[f"dead_fraction_{technique}"] = PAPER[technique]
+    return ExperimentReport(
+        experiment="table3",
+        title="Average dead-line fraction in the L2 (SpMV)",
+        headers=["technique", "mean_dead_fraction"],
+        rows=rows,
+        summary=summary,
+        paper_reference=reference,
+    )

@@ -1,0 +1,90 @@
+"""Table IV: run time (normalized to ideal) across other cuSPARSE kernels.
+
+SpMV-COO, SpMM-CSR with k = 4 and k = 256 dense columns, each over
+RANDOM, ORIGINAL, RABBIT and RABBIT++ and split by insularity class.
+The paper's values (ALL | I<0.95 | I>=0.95):
+
+    SpMV-COO     RANDOM 5.37/4.94/5.97  ORIGINAL 1.84/2.10/1.55
+                 RABBIT 1.49/1.73/1.23  RABBIT++ 1.40/1.55/1.23
+    SpMM-CSR-4   RANDOM 29.3/32.2/26.1  ORIGINAL 5.97/8.92/3.58
+                 RABBIT 4.31/7.39/2.18  RABBIT++ 3.79/5.85/2.18
+    SpMM-CSR-256 RANDOM 139/197/75.1    ORIGINAL 26.8/43.8/11.0
+                 RABBIT 20.3/50.3/3.91  RABBIT++ 18.7/44.0/3.95
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.fig3 import INSULARITY_SPLIT
+from repro.experiments.report import ExperimentReport, arithmetic_mean
+from repro.experiments.runner import ExperimentRunner
+
+KERNELS = ("spmv-coo", "spmm-csr-4", "spmm-csr-256")
+TECHNIQUES = ("random", "original", "rabbit", "rabbit++")
+
+PAPER = {
+    ("spmv-coo", "random"): (5.37, 4.94, 5.97),
+    ("spmv-coo", "original"): (1.84, 2.10, 1.55),
+    ("spmv-coo", "rabbit"): (1.49, 1.73, 1.23),
+    ("spmv-coo", "rabbit++"): (1.40, 1.55, 1.23),
+    ("spmm-csr-4", "random"): (29.33, 32.17, 26.07),
+    ("spmm-csr-4", "original"): (5.97, 8.92, 3.58),
+    ("spmm-csr-4", "rabbit"): (4.31, 7.39, 2.18),
+    ("spmm-csr-4", "rabbit++"): (3.79, 5.85, 2.18),
+    ("spmm-csr-256", "random"): (139.3, 196.6, 75.13),
+    ("spmm-csr-256", "original"): (26.81, 43.79, 10.99),
+    ("spmm-csr-256", "rabbit"): (20.32, 50.3, 3.91),
+    ("spmm-csr-256", "rabbit++"): (18.7, 43.97, 3.95),
+}
+
+
+def run(
+    profile: str = "full",
+    runner: Optional[ExperimentRunner] = None,
+    kernels: Sequence[str] = KERNELS,
+    techniques: Sequence[str] = TECHNIQUES,
+    split: float = INSULARITY_SPLIT,
+) -> ExperimentReport:
+    runner = runner if runner is not None else ExperimentRunner(profile)
+    matrices = runner.matrices()
+    insularities = {m: runner.matrix_metrics(m).insularity for m in matrices}
+
+    rows: List[List[object]] = []
+    summary: Dict[str, float] = {}
+    reference: Dict[str, float] = {}
+    for kernel in kernels:
+        for technique in techniques:
+            all_values: List[float] = []
+            low: List[float] = []
+            high: List[float] = []
+            for matrix in matrices:
+                record = runner.run(matrix, technique, kernel=kernel)
+                all_values.append(record.normalized_runtime)
+                (high if insularities[matrix] >= split else low).append(
+                    record.normalized_runtime
+                )
+            means = (
+                arithmetic_mean(all_values),
+                arithmetic_mean(low) if low else float("nan"),
+                arithmetic_mean(high) if high else float("nan"),
+            )
+            rows.append([kernel, technique, *means])
+            paper_values = PAPER.get((kernel, technique))
+            for split_name, value, paper_value in zip(
+                ("all", "low-ins", "high-ins"),
+                means,
+                paper_values if paper_values else (None, None, None),
+            ):
+                key = f"{kernel}|{technique}|{split_name}"
+                summary[key] = value
+                if paper_value is not None:
+                    reference[key] = paper_value
+    return ExperimentReport(
+        experiment="table4",
+        title="Run time normalized to ideal across kernels",
+        headers=["kernel", "technique", "ALL", "INS<split", "INS>=split"],
+        rows=rows,
+        summary=summary,
+        paper_reference=reference,
+    )

@@ -1,0 +1,31 @@
+"""GPU platform model (paper Table I and Section IV-B).
+
+Provides the A6000 specification (Table I), the scaled evaluation
+platform used by the simulator experiments, the compulsory-traffic /
+ideal-run-time formulas, a roofline check, and the pre-processing
+amortization calculator behind Figure 9.
+"""
+
+from repro.gpu.specs import A6000, PlatformSpec, SCALED_A6000, scaled_platform
+from repro.gpu.perf import (
+    KernelRunModel,
+    ideal_time_seconds,
+    model_run,
+    normalized_runtime,
+)
+from repro.gpu.amortization import amortization_iterations
+from repro.gpu.roofline import arithmetic_intensity_spmv, is_memory_bound
+
+__all__ = [
+    "A6000",
+    "KernelRunModel",
+    "PlatformSpec",
+    "SCALED_A6000",
+    "amortization_iterations",
+    "arithmetic_intensity_spmv",
+    "ideal_time_seconds",
+    "is_memory_bound",
+    "model_run",
+    "normalized_runtime",
+    "scaled_platform",
+]

@@ -1,0 +1,36 @@
+"""Roofline sanity checks (paper Section IV-B).
+
+The paper notes SpMV's arithmetic-intensity upper bound is 0.25
+FLOP/byte while the A6000 needs ~50 to become compute-bound, so SpMV is
+always bandwidth-limited there.  These helpers make that argument
+executable for any platform spec.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.specs import PlatformSpec
+
+
+def arithmetic_intensity_spmv(n_rows: int, nnz: int, element_bytes: int = 4) -> float:
+    """FLOPs per compulsory byte for SpMV.
+
+    SpMV performs ``2 * nnz`` floating-point operations (multiply and
+    add per non-zero) over the compulsory traffic of Section IV-B.
+    The bound approaches 0.25 as nnz dominates.
+    """
+    compulsory = (2 * n_rows + (n_rows + 1) + 2 * nnz) * element_bytes
+    if compulsory == 0:
+        return 0.0
+    return (2.0 * nnz) / compulsory
+
+
+def machine_balance(platform: PlatformSpec) -> float:
+    """FLOP/byte needed to become compute-bound on the platform."""
+    return (platform.peak_compute_tflops * 1e12) / (
+        platform.peak_bandwidth_gbs * 1e9
+    )
+
+
+def is_memory_bound(n_rows: int, nnz: int, platform: PlatformSpec) -> bool:
+    """Whether SpMV on this matrix is bandwidth-limited on the platform."""
+    return arithmetic_intensity_spmv(n_rows, nnz) < machine_balance(platform)

@@ -1,0 +1,97 @@
+"""Platform specifications.
+
+``A6000`` reproduces the paper's Table I.  ``SCALED_A6000`` is the
+default simulation platform: the corpus is ~100x smaller than the
+paper's matrices, so the L2 is scaled from 6 MB down to 32 KiB to keep
+the footprint-to-cache ratio — the quantity every result depends on —
+in the paper's regime (see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cache.config import CacheConfig
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """An evaluation platform for the performance model."""
+
+    name: str
+    l2_capacity_bytes: int
+    line_bytes: int
+    ways: int
+    #: Theoretical peak DRAM bandwidth (Table I: 768 GB/s).
+    peak_bandwidth_gbs: float
+    #: Achievable streaming bandwidth (BabelStream-measured: 672 GB/s).
+    achievable_bandwidth_gbs: float
+    #: Relative DRAM efficiency of fine-grained irregular accesses; the
+    #: calibration that reproduces the paper's traffic-to-run-time gap
+    #: (e.g. RANDOM: 3.36x traffic -> 6.21x run time) is ~0.5.
+    irregular_efficiency: float = 0.5
+    peak_compute_tflops: float = 38.7
+    dram_capacity_bytes: int = 48 * 1024**3
+
+    def __post_init__(self) -> None:
+        if self.achievable_bandwidth_gbs > self.peak_bandwidth_gbs:
+            raise ValidationError(
+                "achievable bandwidth cannot exceed the theoretical peak"
+            )
+        if not 0.0 < self.irregular_efficiency <= 1.0:
+            raise ValidationError(
+                f"irregular_efficiency must be in (0, 1], got {self.irregular_efficiency}"
+            )
+
+    def cache_config(self) -> CacheConfig:
+        return CacheConfig(
+            capacity_bytes=self.l2_capacity_bytes,
+            line_bytes=self.line_bytes,
+            ways=self.ways,
+        )
+
+    @property
+    def achievable_bandwidth_bytes_per_s(self) -> float:
+        return self.achievable_bandwidth_gbs * 1e9
+
+
+#: Paper Table I: NVIDIA A6000.  The L2 transacts 32 B sectors.
+A6000 = PlatformSpec(
+    name="a6000",
+    l2_capacity_bytes=6 * 1024 * 1024,
+    line_bytes=32,
+    ways=16,
+    peak_bandwidth_gbs=768.0,
+    achievable_bandwidth_gbs=672.0,
+)
+
+#: Default simulation platform: A6000 with the L2 scaled to the corpus.
+SCALED_A6000 = PlatformSpec(
+    name="scaled-a6000",
+    l2_capacity_bytes=32 * 1024,
+    line_bytes=32,
+    ways=16,
+    peak_bandwidth_gbs=768.0,
+    achievable_bandwidth_gbs=672.0,
+)
+
+#: Further-reduced platform for the bench/test corpus profiles.
+BENCH_PLATFORM = replace(SCALED_A6000, name="bench-a6000", l2_capacity_bytes=8 * 1024)
+TEST_PLATFORM = replace(SCALED_A6000, name="test-a6000", l2_capacity_bytes=2 * 1024)
+
+_BY_PROFILE = {
+    "full": SCALED_A6000,
+    "bench": BENCH_PLATFORM,
+    "test": TEST_PLATFORM,
+}
+
+
+def scaled_platform(profile: str = "full") -> PlatformSpec:
+    """The platform matched to a corpus profile's matrix sizes."""
+    try:
+        return _BY_PROFILE[profile]
+    except KeyError:
+        raise ValidationError(
+            f"unknown profile {profile!r}; valid: {sorted(_BY_PROFILE)}"
+        ) from None

@@ -1,0 +1,29 @@
+"""Graph substrate: graph view, generators, I/O, and the input corpus.
+
+The paper treats graphs and matrices interchangeably (nodes are
+rows/columns, edges are non-zeros).  This subpackage provides the graph
+view over CSR storage, deterministic synthetic generators spanning the
+structural categories of the paper's 50-matrix corpus, Matrix-Market
+I/O, and the corpus registry with the Section III selection criteria.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.corpus import (
+    CorpusEntry,
+    corpus_entries,
+    corpus_names,
+    load_matrix,
+    selection_report,
+)
+from repro.graphs.io import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "CorpusEntry",
+    "Graph",
+    "corpus_entries",
+    "corpus_names",
+    "load_matrix",
+    "read_matrix_market",
+    "selection_report",
+    "write_matrix_market",
+]

@@ -1,0 +1,41 @@
+"""Deterministic synthetic graph/matrix generators.
+
+Each generator returns a :class:`repro.sparse.COOMatrix` and is seeded,
+so a corpus entry is fully determined by its recipe.  The generators
+span the structural categories of the paper's corpus (Section III):
+social networks, hyperlink graphs, circuit simulation, CFD meshes, road
+networks, protein k-mer graphs, knowledge databases, and unstructured
+baselines.
+"""
+
+from repro.graphs.generators.community import (
+    dcsbm,
+    hierarchical_blocks,
+    hub_overlay,
+    planted_partition,
+    star_burst,
+)
+from repro.graphs.generators.powerlaw import barabasi_albert, rmat
+from repro.graphs.generators.random_graphs import erdos_renyi, watts_strogatz
+from repro.graphs.generators.spatial import (
+    grid_2d,
+    grid_3d,
+    kmer_chain,
+    road_network,
+)
+
+__all__ = [
+    "barabasi_albert",
+    "dcsbm",
+    "erdos_renyi",
+    "grid_2d",
+    "grid_3d",
+    "hierarchical_blocks",
+    "hub_overlay",
+    "kmer_chain",
+    "planted_partition",
+    "rmat",
+    "road_network",
+    "star_burst",
+    "watts_strogatz",
+]

@@ -1,0 +1,103 @@
+"""Power-law / skewed degree-distribution generators.
+
+These model the social-network and web-crawl matrices whose hub nodes
+the paper identifies as the main obstacle to community detection
+quality (Section V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.generators._util import (
+    SeedLike,
+    check_positive,
+    directed_coo,
+    make_rng,
+    undirected_coo,
+)
+from repro.sparse.coo import COOMatrix
+
+
+def barabasi_albert(n: int, m: int, seed: SeedLike = 0) -> COOMatrix:
+    """Preferential-attachment graph (scale-free degree distribution).
+
+    Each arriving node attaches ``m`` edges to existing nodes chosen
+    proportionally to their current degree, via the standard
+    repeated-endpoints sampling trick.
+    """
+    check_positive("n", n)
+    check_positive("m", m)
+    if m >= n:
+        raise ValidationError(f"m ({m}) must be smaller than n ({n})")
+    rng = make_rng(seed)
+    # Endpoint multiset: each edge contributes both endpoints, so
+    # sampling a uniform element is degree-proportional sampling.
+    endpoints = np.empty(2 * m * n, dtype=np.int64)
+    endpoint_count = 0
+    u_list = np.empty(m * n, dtype=np.int64)
+    v_list = np.empty(m * n, dtype=np.int64)
+    edge_count = 0
+    # Seed clique over the first m + 1 nodes keeps early sampling sane.
+    for node in range(1, m + 1):
+        for other in range(node):
+            u_list[edge_count] = node
+            v_list[edge_count] = other
+            edge_count += 1
+            endpoints[endpoint_count] = node
+            endpoints[endpoint_count + 1] = other
+            endpoint_count += 2
+    for node in range(m + 1, n):
+        picks = endpoints[rng.integers(0, endpoint_count, size=m)]
+        u_list[edge_count: edge_count + m] = node
+        v_list[edge_count: edge_count + m] = picks
+        edge_count += m
+        endpoints[endpoint_count: endpoint_count + m] = node
+        endpoints[endpoint_count + m: endpoint_count + 2 * m] = picks
+        endpoint_count += 2 * m
+    return undirected_coo(n, u_list[:edge_count], v_list[:edge_count])
+
+
+def rmat(
+    scale: int,
+    edge_factor: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: SeedLike = 0,
+    directed: bool = True,
+) -> COOMatrix:
+    """Recursive MATrix (Kronecker) generator, Graph500 style.
+
+    Produces ``2**scale`` nodes and ``edge_factor * 2**scale`` edge
+    samples.  The default (a, b, c) = (0.57, 0.19, 0.19) are the
+    Graph500 parameters which yield a strongly skewed degree
+    distribution, the structural regime where the paper shows
+    community detection struggles.
+    """
+    check_positive("scale", scale)
+    check_positive("edge_factor", edge_factor)
+    d = 1.0 - (a + b + c)
+    if min(a, b, c, d) < 0:
+        raise ValidationError(f"R-MAT quadrant probabilities must sum to <= 1, got d={d:.3f}")
+    rng = make_rng(seed)
+    n = 1 << scale
+    n_edges = edge_factor * n
+    u = np.zeros(n_edges, dtype=np.int64)
+    v = np.zeros(n_edges, dtype=np.int64)
+    for _ in range(scale):
+        u <<= 1
+        v <<= 1
+        r = rng.random(n_edges)
+        # Quadrant choice: a -> (0,0), b -> (0,1), c -> (1,0), d -> (1,1).
+        go_b = (r >= a) & (r < a + b)
+        go_c = (r >= a + b) & (r < a + b + c)
+        go_d = r >= a + b + c
+        v[go_b] += 1
+        u[go_c] += 1
+        u[go_d] += 1
+        v[go_d] += 1
+    if directed:
+        return directed_coo(n, u, v)
+    return undirected_coo(n, u, v)

@@ -1,0 +1,145 @@
+"""Spatially-embedded and chain-structured generators.
+
+These model the low-degree, naturally-local matrix categories in the
+paper's corpus: CFD meshes (grids), road networks (perturbed planar
+grids), and protein k-mer / DNA electrophoresis graphs (long chains
+with sparse branching).  They typically have high insularity and little
+skew, the regime where RABBIT already reaches near-ideal traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.generators._util import (
+    SeedLike,
+    check_positive,
+    check_probability,
+    make_rng,
+    undirected_coo,
+)
+from repro.sparse.coo import COOMatrix
+
+
+def grid_2d(nx: int, ny: int, periodic: bool = False) -> COOMatrix:
+    """4-neighbor 2-D mesh with ``nx * ny`` nodes (CFD-style stencil)."""
+    check_positive("nx", nx)
+    check_positive("ny", ny)
+    n = nx * ny
+    ids = np.arange(n, dtype=np.int64)
+    x = ids % nx
+    y = ids // nx
+    u_parts = []
+    v_parts = []
+    # Horizontal edges.
+    right_ok = x < nx - 1
+    u_parts.append(ids[right_ok])
+    v_parts.append(ids[right_ok] + 1)
+    # Vertical edges.
+    up_ok = y < ny - 1
+    u_parts.append(ids[up_ok])
+    v_parts.append(ids[up_ok] + nx)
+    if periodic:
+        if nx > 2:
+            wrap = ids[x == nx - 1]
+            u_parts.append(wrap)
+            v_parts.append(wrap - (nx - 1))
+        if ny > 2:
+            wrap = ids[y == ny - 1]
+            u_parts.append(wrap)
+            v_parts.append(wrap - nx * (ny - 1))
+    return undirected_coo(n, np.concatenate(u_parts), np.concatenate(v_parts))
+
+
+def grid_3d(nx: int, ny: int, nz: int) -> COOMatrix:
+    """6-neighbor 3-D mesh (finite-volume / electromagnetics style)."""
+    check_positive("nx", nx)
+    check_positive("ny", ny)
+    check_positive("nz", nz)
+    n = nx * ny * nz
+    ids = np.arange(n, dtype=np.int64)
+    x = ids % nx
+    y = (ids // nx) % ny
+    z = ids // (nx * ny)
+    u_parts = []
+    v_parts = []
+    for ok, step in (
+        (x < nx - 1, 1),
+        (y < ny - 1, nx),
+        (z < nz - 1, nx * ny),
+    ):
+        u_parts.append(ids[ok])
+        v_parts.append(ids[ok] + step)
+    return undirected_coo(n, np.concatenate(u_parts), np.concatenate(v_parts))
+
+
+def road_network(
+    nx: int,
+    ny: int,
+    drop_prob: float = 0.25,
+    diag_prob: float = 0.05,
+    seed: SeedLike = 0,
+) -> COOMatrix:
+    """Road-network-like graph: a 2-D grid with dropped and diagonal links.
+
+    Starts from a 4-neighbor grid, deletes each edge with probability
+    ``drop_prob`` (dead ends, irregular street layout) and adds each
+    diagonal with probability ``diag_prob`` (highway shortcuts).  The
+    result keeps the near-planar, degree-2-to-4 profile of real road
+    matrices.
+    """
+    check_positive("nx", nx)
+    check_positive("ny", ny)
+    check_probability("drop_prob", drop_prob)
+    check_probability("diag_prob", diag_prob)
+    rng = make_rng(seed)
+    base = grid_2d(nx, ny)
+    # Work on canonical (u < v) pairs to drop whole edges at once.
+    canonical = base.rows < base.cols
+    u = base.rows[canonical]
+    v = base.cols[canonical]
+    keep = rng.random(u.size) >= drop_prob
+    u, v = u[keep], v[keep]
+
+    n = nx * ny
+    ids = np.arange(n, dtype=np.int64)
+    x = ids % nx
+    y = ids // nx
+    diag_ok = (x < nx - 1) & (y < ny - 1)
+    candidates = ids[diag_ok]
+    chosen = candidates[rng.random(candidates.size) < diag_prob]
+    u = np.concatenate([u, chosen])
+    v = np.concatenate([v, chosen + nx + 1])
+    return undirected_coo(n, u, v)
+
+
+def kmer_chain(n: int, branch_prob: float = 0.02, n_chains: int = 8, seed: SeedLike = 0) -> COOMatrix:
+    """Protein-k-mer-like graph: long paths with occasional branches.
+
+    Nodes are laid out as ``n_chains`` independent chains.  Each node
+    links to its chain predecessor; with probability ``branch_prob`` it
+    *also* links to a random earlier node of the same chain, creating a
+    branch point.  Average degree stays close to 2, like real k-mer
+    graphs (the paper's corpus reaches average degree as low as 2).
+    """
+    check_positive("n", n)
+    check_probability("branch_prob", branch_prob)
+    check_positive("n_chains", n_chains)
+    rng = make_rng(seed)
+    ids = np.arange(n, dtype=np.int64)
+    chain = ids % n_chains
+    position = ids // n_chains
+    # Chain predecessor: same chain id, previous position.
+    has_prev = position > 0
+    u_parts = [ids[has_prev]]
+    v_parts = [ids[has_prev] - n_chains]
+    # Branches to a random earlier node in the same chain.
+    branchable = position > 1
+    roll = rng.random(n) < branch_prob
+    branch_nodes = ids[branchable & roll]
+    if branch_nodes.size:
+        earlier_pos = (rng.random(branch_nodes.size) * position[branch_nodes]).astype(np.int64)
+        targets = chain[branch_nodes] + earlier_pos * n_chains
+        u_parts.append(branch_nodes)
+        v_parts.append(targets)
+    return undirected_coo(n, np.concatenate(u_parts), np.concatenate(v_parts))

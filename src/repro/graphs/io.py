@@ -1,0 +1,125 @@
+"""Matrix Market (``.mtx``) reader and writer.
+
+SuiteSparse — the paper's main matrix repository — distributes matrices
+in the Matrix Market exchange format, so the corpus tooling can both
+export its synthetic matrices and ingest real SuiteSparse downloads
+when they are available.  Supports the ``coordinate`` format with
+``real``, ``integer`` and ``pattern`` fields and ``general`` or
+``symmetric`` symmetry.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, TextIO, Union
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.sparse.coo import COOMatrix
+
+PathOrFile = Union[str, "os.PathLike[str]", TextIO]
+
+_FIELDS = ("real", "integer", "pattern")
+_SYMMETRIES = ("general", "symmetric")
+
+
+def read_matrix_market(source: PathOrFile) -> COOMatrix:
+    """Parse a Matrix Market coordinate file into a :class:`COOMatrix`.
+
+    Symmetric files are expanded: every off-diagonal entry also yields
+    its mirrored entry, matching SuiteSparse semantics.
+    """
+    if hasattr(source, "read"):
+        return _read_stream(source)  # type: ignore[arg-type]
+    with open(source, "r", encoding="utf-8") as handle:
+        return _read_stream(handle)
+
+
+def _read_stream(handle: TextIO) -> COOMatrix:
+    header = handle.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise FormatError(f"not a Matrix Market file (header: {header.strip()!r})")
+    tokens = header.strip().split()
+    if len(tokens) != 5:
+        raise FormatError(f"malformed Matrix Market header: {header.strip()!r}")
+    _, object_kind, fmt, field, symmetry = (token.lower() for token in tokens)
+    if object_kind != "matrix" or fmt != "coordinate":
+        raise FormatError(
+            f"only 'matrix coordinate' files are supported, got {object_kind} {fmt}"
+        )
+    if field not in _FIELDS:
+        raise FormatError(f"unsupported field {field!r}; supported: {_FIELDS}")
+    if symmetry not in _SYMMETRIES:
+        raise FormatError(f"unsupported symmetry {symmetry!r}; supported: {_SYMMETRIES}")
+
+    size_line = _next_data_line(handle)
+    if size_line is None:
+        raise FormatError("missing size line")
+    parts = size_line.split()
+    if len(parts) != 3:
+        raise FormatError(f"malformed size line: {size_line!r}")
+    n_rows, n_cols, n_entries = (int(part) for part in parts)
+
+    rows: List[int] = []
+    cols: List[int] = []
+    values: List[float] = []
+    for _ in range(n_entries):
+        line = _next_data_line(handle)
+        if line is None:
+            raise FormatError(
+                f"file ended after {len(rows)} of {n_entries} declared entries"
+            )
+        fields = line.split()
+        if field == "pattern":
+            if len(fields) < 2:
+                raise FormatError(f"malformed pattern entry: {line!r}")
+            value = 1.0
+        else:
+            if len(fields) < 3:
+                raise FormatError(f"malformed entry: {line!r}")
+            value = float(fields[2])
+        row = int(fields[0]) - 1
+        col = int(fields[1]) - 1
+        rows.append(row)
+        cols.append(col)
+        values.append(value)
+        if symmetry == "symmetric" and row != col:
+            rows.append(col)
+            cols.append(row)
+            values.append(value)
+
+    return COOMatrix(
+        n_rows,
+        n_cols,
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(values, dtype=np.float64),
+    )
+
+
+def _next_data_line(handle: TextIO) -> Union[str, None]:
+    """Next non-comment, non-blank line, or None at end of file."""
+    for line in handle:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            return stripped
+    return None
+
+
+def write_matrix_market(matrix: COOMatrix, destination: PathOrFile, comment: str = "") -> None:
+    """Write a :class:`COOMatrix` as a general, real coordinate file."""
+    if hasattr(destination, "write"):
+        _write_stream(matrix, destination, comment)  # type: ignore[arg-type]
+        return
+    with open(destination, "w", encoding="utf-8") as handle:
+        _write_stream(matrix, handle, comment)
+
+
+def _write_stream(matrix: COOMatrix, handle: TextIO, comment: str) -> None:
+    handle.write("%%MatrixMarket matrix coordinate real general\n")
+    for line in comment.splitlines():
+        handle.write(f"% {line}\n")
+    handle.write(f"{matrix.n_rows} {matrix.n_cols} {matrix.nnz}\n")
+    for row, col, value in zip(matrix.rows, matrix.cols, matrix.values):
+        handle.write(f"{int(row) + 1} {int(col) + 1} {value:.17g}\n")

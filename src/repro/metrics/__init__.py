@@ -1,0 +1,53 @@
+"""Analysis metrics (paper Section V).
+
+* :func:`insularity` — fraction of intra-community edges (the paper's
+  visualizable alternative to modularity);
+* :func:`insular_mask` / :func:`insular_node_fraction` — nodes only
+  referenced from within their own community (Figure 4, and the first
+  RABBIT++ modification);
+* :func:`degree_skew` — share of non-zeros owned by the top-10% most
+  connected rows (the paper's hub-skew measure);
+* community-size statistics (Section V-B correlations);
+* :func:`pearson` — the correlation coefficient the paper reports;
+* locality estimators (cache footprint, neighbor ID spans, matrix
+  bandwidth/profile for RCM-style analysis).
+"""
+
+from repro.metrics.community_stats import community_size_stats, CommunitySizeStats
+from repro.metrics.correlation import pearson
+from repro.metrics.degree_stats import (
+    DegreeStats,
+    degree_statistics,
+    gini_coefficient,
+    powerlaw_alpha,
+)
+from repro.metrics.insularity import (
+    insular_mask,
+    insular_node_fraction,
+    insularity,
+)
+from repro.metrics.locality import (
+    average_neighbor_span,
+    hub_cache_footprint_bytes,
+    matrix_bandwidth,
+    matrix_profile,
+)
+from repro.metrics.skew import degree_skew
+
+__all__ = [
+    "CommunitySizeStats",
+    "DegreeStats",
+    "average_neighbor_span",
+    "community_size_stats",
+    "degree_skew",
+    "degree_statistics",
+    "gini_coefficient",
+    "powerlaw_alpha",
+    "hub_cache_footprint_bytes",
+    "insular_mask",
+    "insular_node_fraction",
+    "insularity",
+    "matrix_bandwidth",
+    "matrix_profile",
+    "pearson",
+]

@@ -1,0 +1,81 @@
+"""Static locality estimators.
+
+These estimate cache behaviour from matrix structure alone (no
+simulation): the cache-line footprint of the hub working set (the
+paper's sx-stackoverflow analysis shrinks it from 5.5 MB to 1.7 MB by
+grouping hubs), the average neighbor-ID span, and the classic
+bandwidth/profile measures that RCM-style orderings minimize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+
+
+def hub_cache_footprint_bytes(
+    hub_ids: np.ndarray,
+    element_bytes: int = 4,
+    line_bytes: int = 32,
+) -> int:
+    """Bytes of cache occupied by the hub entries of the input vector.
+
+    Counts the *distinct cache lines* covering ``X[hub]`` for every hub
+    ID.  Scattered hubs touch one line each; grouped hubs share lines,
+    which is precisely the effect of RABBIT++'s hub grouping.
+    """
+    if element_bytes <= 0 or line_bytes <= 0:
+        raise ValidationError("element_bytes and line_bytes must be positive")
+    hub_ids = np.asarray(hub_ids, dtype=np.int64)
+    if hub_ids.size == 0:
+        return 0
+    lines = np.unique(hub_ids * element_bytes // line_bytes)
+    return int(lines.size) * line_bytes
+
+
+def average_neighbor_span(csr: CSRMatrix) -> float:
+    """Mean over rows of (max neighbor ID − min neighbor ID).
+
+    A cheap proxy for the irregular-access working set per row; good
+    orderings produce small spans.
+    """
+    spans = []
+    for row in range(csr.n_rows):
+        cols = csr.row_slice(row)
+        if cols.size:
+            spans.append(int(cols.max()) - int(cols.min()))
+    if not spans:
+        return 0.0
+    return float(np.mean(spans))
+
+
+def matrix_bandwidth(csr: CSRMatrix) -> int:
+    """Maximum ``|row − col|`` over all non-zeros (RCM's objective)."""
+    if csr.nnz == 0:
+        return 0
+    row_of_entry = np.repeat(np.arange(csr.n_rows), np.diff(csr.row_offsets))
+    return int(np.abs(row_of_entry - csr.col_indices).max())
+
+
+def matrix_profile(csr: CSRMatrix) -> int:
+    """Sum over rows of the distance from the diagonal to the leftmost entry."""
+    profile = 0
+    for row in range(csr.n_rows):
+        cols = csr.row_slice(row)
+        if cols.size:
+            leftmost = int(cols.min())
+            if leftmost < row:
+                profile += row - leftmost
+    return profile
+
+
+def working_set_lines(
+    ids: np.ndarray, element_bytes: int = 4, line_bytes: int = 32
+) -> int:
+    """Distinct cache lines covering the given element IDs."""
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size == 0:
+        return 0
+    return int(np.unique(ids * element_bytes // line_bytes).size)

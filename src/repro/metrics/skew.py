@@ -1,0 +1,33 @@
+"""Degree-distribution skew (paper Section V-B).
+
+The paper defines skew as "the percentage of non-zeros connected to the
+top 10% most connected rows".  High skew indicates strong power-law
+behaviour — hub vertices so disproportionately connected that community
+detection cannot isolate communities around them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+
+
+def degree_skew(graph: Graph, top_fraction: float = 0.10) -> float:
+    """Share of non-zeros owned by the top ``top_fraction`` of rows.
+
+    Returns a value in [0, 1]; the paper reports it as a percentage
+    (e.g. 16.37% average for high-insularity matrices vs. 41.74% for
+    the rest).  Uses the undirected view so in- and out-connectivity
+    both count, matching "most connected rows".
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValidationError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    undirected = graph.to_undirected()
+    degrees = np.sort(np.asarray(undirected.out_degrees(), dtype=np.int64))[::-1]
+    total = int(degrees.sum())
+    if total == 0:
+        return 0.0
+    top_rows = max(1, int(round(degrees.size * top_fraction)))
+    return float(degrees[:top_rows].sum()) / float(total)

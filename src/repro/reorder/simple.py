@@ -1,0 +1,36 @@
+"""Baseline orderings: ORIGINAL and RANDOM (paper Section IV-A).
+
+ORIGINAL keeps the node IDs found in the public dataset — an ordering
+the paper shows is "an ill-defined concept" because it reflects an
+arbitrary publisher choice.  RANDOM assigns IDs uniformly at random and
+is the worst-case locality baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.reorder.base import ReorderingTechnique
+
+
+class OriginalOrder(ReorderingTechnique):
+    """Identity permutation: keep the dataset's node IDs."""
+
+    name = "original"
+
+    def _compute(self, graph: Graph) -> np.ndarray:
+        return np.arange(graph.n_nodes, dtype=np.int64)
+
+
+class RandomOrder(ReorderingTechnique):
+    """Uniformly random node IDs (seeded, so runs are repeatable)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def _compute(self, graph: Graph) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        return rng.permutation(graph.n_nodes).astype(np.int64)

@@ -1,0 +1,130 @@
+"""SlashBurn ordering (paper ref. [31]).
+
+SlashBurn (Lim, Kang, Faloutsos) exploits the observation that
+real-world graphs shatter when their hubs are removed: repeatedly
+"slash" the top-k highest-degree nodes (assigning them the lowest free
+IDs), then "burn" — every connected component except the giant one is
+assigned IDs from the high end (grouped per component), and the process
+recurses on the giant connected component.  Included as an additional
+community-flavoured comparison point the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.reorder.base import ReorderingTechnique, stable_order_to_permutation
+
+
+class SlashBurn(ReorderingTechnique):
+    """SlashBurn with ``k = max(1, k_fraction * n)`` hubs per round."""
+
+    name = "slashburn"
+
+    def __init__(self, k_fraction: float = 0.005, max_rounds: int = 1000) -> None:
+        if not 0.0 < k_fraction <= 1.0:
+            raise ValidationError(f"k_fraction must be in (0, 1], got {k_fraction}")
+        if max_rounds < 1:
+            raise ValidationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.k_fraction = float(k_fraction)
+        self.max_rounds = int(max_rounds)
+
+    def _compute(self, graph: Graph) -> np.ndarray:
+        undirected = graph.to_undirected()
+        adjacency = undirected.adjacency
+        n = adjacency.n_rows
+        offsets = adjacency.row_offsets
+        indices = adjacency.col_indices
+
+        alive = np.ones(n, dtype=bool)
+        # Degrees within the still-alive subgraph, updated per round.
+        visit = np.empty(n, dtype=np.int64)
+        front = 0
+        back = n  # exclusive
+        k = max(1, int(round(self.k_fraction * n)))
+
+        for _ in range(self.max_rounds):
+            alive_ids = np.flatnonzero(alive)
+            if alive_ids.size == 0:
+                break
+            if alive_ids.size <= k:
+                # Remainder too small to slash further: emit in degree order.
+                degrees = _alive_degrees(alive_ids, alive, offsets, indices)
+                order = alive_ids[np.argsort(-degrees, kind="stable")]
+                visit[front: front + order.size] = order
+                front += order.size
+                alive[alive_ids] = False
+                break
+            # Slash: top-k alive degrees get the lowest free IDs.
+            degrees = _alive_degrees(alive_ids, alive, offsets, indices)
+            top = alive_ids[np.argsort(-degrees, kind="stable")[:k]]
+            visit[front: front + k] = top
+            front += k
+            alive[top] = False
+            # Burn: components of the remainder; all but the giant one
+            # are assigned from the back, grouped per component
+            # (smallest components outermost).
+            components = _connected_components(alive, offsets, indices)
+            if not components:
+                break
+            components.sort(key=len)
+            giant = components.pop()  # largest keeps getting slashed
+            for block in components:
+                back -= block.size
+                visit[back: back + block.size] = block
+                alive[block] = False
+            if giant.size == 0:
+                break
+        leftovers = np.flatnonzero(alive)
+        if leftovers.size:
+            visit[front: front + leftovers.size] = leftovers
+            front += leftovers.size
+        if front != back:
+            raise AssertionError(
+                f"SlashBurn bookkeeping mismatch: front={front}, back={back}"
+            )
+        return stable_order_to_permutation(visit)
+
+
+def _alive_degrees(
+    alive_ids: np.ndarray,
+    alive: np.ndarray,
+    offsets: np.ndarray,
+    indices: np.ndarray,
+) -> np.ndarray:
+    """Degrees of ``alive_ids`` within the alive-induced subgraph."""
+    n = offsets.size - 1
+    row_of_entry = np.repeat(np.arange(n), np.diff(offsets))
+    live_entry = alive[row_of_entry] & alive[indices]
+    degree_all = np.zeros(n, dtype=np.int64)
+    np.add.at(degree_all, row_of_entry[live_entry], 1)
+    return degree_all[alive_ids]
+
+
+def _connected_components(
+    alive: np.ndarray, offsets: np.ndarray, indices: np.ndarray
+) -> List[np.ndarray]:
+    """Connected components of the alive-induced subgraph (frontier BFS)."""
+    seen = ~alive
+    components: List[np.ndarray] = []
+    for start in np.flatnonzero(alive):
+        if seen[start]:
+            continue
+        seen[start] = True
+        frontier = np.asarray([start], dtype=np.int64)
+        parts = [frontier]
+        while frontier.size:
+            neighbor_parts = [indices[offsets[v]: offsets[v + 1]] for v in frontier]
+            neighbors = np.unique(np.concatenate(neighbor_parts))
+            fresh = neighbors[~seen[neighbors]]
+            if fresh.size == 0:
+                break
+            seen[fresh] = True
+            parts.append(fresh)
+            frontier = fresh
+        components.append(np.concatenate(parts))
+    return components

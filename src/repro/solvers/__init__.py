@@ -1,0 +1,24 @@
+"""Iterative solvers and graph workloads built on the sparse kernels.
+
+These are the downstream consumers that amortize reordering cost
+(paper Section VI-C: "it can be amortized across multiple iterations
+of the same kernel"): conjugate gradient and Jacobi for linear
+systems, and PageRank-style power iteration for graph analytics.
+Every iteration is one SpMV, so the per-iteration DRAM model of
+:mod:`repro.gpu` composes directly with the iteration counts measured
+here.
+"""
+
+from repro.solvers.cg import conjugate_gradient, SolveResult
+from repro.solvers.jacobi import jacobi
+from repro.solvers.pagerank import pagerank, PageRankResult
+from repro.solvers.laplacian import graph_laplacian
+
+__all__ = [
+    "PageRankResult",
+    "SolveResult",
+    "conjugate_gradient",
+    "graph_laplacian",
+    "jacobi",
+    "pagerank",
+]

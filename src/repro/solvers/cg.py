@@ -1,0 +1,70 @@
+"""Conjugate gradient over the CSR SpMV kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.kernels import spmv_csr
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    residual_history: List[float]
+
+
+def conjugate_gradient(
+    matrix: CSRMatrix,
+    b: np.ndarray,
+    tolerance: float = 1e-8,
+    max_iterations: int = 1000,
+    x0: np.ndarray = None,
+) -> SolveResult:
+    """Solve ``A x = b`` for symmetric positive-definite ``A``.
+
+    Each iteration performs exactly one SpMV — the kernel whose memory
+    behaviour the rest of the library models — so ``iterations`` plugs
+    straight into the amortization analysis of paper Section VI-C.
+    """
+    if not matrix.is_square:
+        raise ShapeError(f"CG needs a square matrix, got {matrix.shape}")
+    if tolerance <= 0:
+        raise ValidationError(f"tolerance must be positive, got {tolerance}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (matrix.n_rows,):
+        raise ShapeError(f"rhs has shape {b.shape}, expected ({matrix.n_rows},)")
+
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - spmv_csr(matrix, x)
+    p = r.copy()
+    rs_old = float(r @ r)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.sqrt(rs_old)) / b_norm]
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        ap = spmv_csr(matrix, p)
+        denominator = float(p @ ap)
+        if denominator <= 0.0:
+            # Not SPD (or numerically singular): stop early, report state.
+            return SolveResult(x, iterations - 1, False, history[-1], history)
+        alpha = rs_old / denominator
+        x = x + alpha * p
+        r = r - alpha * ap
+        rs_new = float(r @ r)
+        history.append(float(np.sqrt(rs_new)) / b_norm)
+        if history[-1] < tolerance:
+            return SolveResult(x, iterations, True, history[-1], history)
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+    return SolveResult(x, iterations, False, history[-1], history)

@@ -1,0 +1,60 @@
+"""Jacobi iteration over the CSR SpMV kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.solvers.cg import SolveResult
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.kernels import spmv_csr
+
+
+def jacobi(
+    matrix: CSRMatrix,
+    b: np.ndarray,
+    tolerance: float = 1e-8,
+    max_iterations: int = 2000,
+) -> SolveResult:
+    """Solve ``A x = b`` by Jacobi iteration (requires nonzero diagonal).
+
+    ``x_{k+1} = D^{-1} (b - (A - D) x_k)``; converges for strictly
+    diagonally dominant systems such as shifted graph Laplacians.
+    """
+    if not matrix.is_square:
+        raise ShapeError(f"Jacobi needs a square matrix, got {matrix.shape}")
+    if tolerance <= 0:
+        raise ValidationError(f"tolerance must be positive, got {tolerance}")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (matrix.n_rows,):
+        raise ShapeError(f"rhs has shape {b.shape}, expected ({matrix.n_rows},)")
+
+    diagonal = _diagonal(matrix)
+    if np.any(diagonal == 0.0):
+        raise ValidationError("Jacobi requires a nonzero diagonal")
+
+    x = np.zeros_like(b)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    history = []
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        ax = spmv_csr(matrix, x)
+        residual = float(np.linalg.norm(b - ax)) / b_norm
+        history.append(residual)
+        if residual < tolerance:
+            return SolveResult(x, iterations - 1, True, residual, history)
+        x = x + (b - ax) / diagonal
+    residual = float(np.linalg.norm(b - spmv_csr(matrix, x))) / b_norm
+    history.append(residual)
+    return SolveResult(x, iterations, residual < tolerance, residual, history)
+
+
+def _diagonal(matrix: CSRMatrix) -> np.ndarray:
+    diagonal = np.zeros(matrix.n_rows, dtype=np.float64)
+    for row in range(matrix.n_rows):
+        cols = matrix.row_slice(row)
+        vals = matrix.row_values(row)
+        on_diag = cols == row
+        if on_diag.any():
+            diagonal[row] = float(vals[on_diag].sum())
+    return diagonal

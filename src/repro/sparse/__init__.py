@@ -1,0 +1,44 @@
+"""Sparse-matrix substrate: formats, conversions, and reference kernels.
+
+This subpackage provides the storage formats (:class:`COOMatrix`,
+:class:`CSRMatrix`) and the reference sparse kernels (SpMV on CSR and
+COO, SpMM on CSR) whose memory behaviour the rest of the library
+analyses.  The kernels follow Algorithm 1 of the paper exactly: the CSR
+arrays and the output vector stream, while the input vector is gathered
+through the column-index array.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix, coo_to_csc, csc_to_coo, spmv_csc
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.kernels import spmm_csr, spmv_coo, spmv_csr, spmv_csr_tiled
+from repro.sparse.mask import restrict_to_nodes
+from repro.sparse.ops import (
+    drop_self_loops,
+    merge_duplicates,
+    symmetrize,
+    transpose,
+)
+from repro.sparse.permute import permute_symmetric
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "coo_to_csc",
+    "coo_to_csr",
+    "csc_to_coo",
+    "csr_to_coo",
+    "drop_self_loops",
+    "merge_duplicates",
+    "permute_symmetric",
+    "restrict_to_nodes",
+    "spmm_csr",
+    "spmv_coo",
+    "spmv_csc",
+    "spmv_csr",
+    "spmv_csr_tiled",
+    "symmetrize",
+    "transpose",
+]

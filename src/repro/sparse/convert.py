@@ -1,0 +1,54 @@
+"""Conversions between the COO and CSR formats."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix, INDEX_DTYPE
+from repro.sparse.csr import CSRMatrix
+
+
+def coo_to_csr(coo: COOMatrix, sort_within_rows: bool = True) -> CSRMatrix:
+    """Convert a COO matrix to CSR.
+
+    Duplicate coordinates are preserved as separate entries (merge them
+    first with :func:`repro.sparse.ops.merge_duplicates` if needed).
+
+    Parameters
+    ----------
+    coo:
+        Source matrix.
+    sort_within_rows:
+        When true (default), entries within each row are ordered by
+        column index; otherwise the relative COO order is kept, which
+        matters when reproducing "arbitrary CSR content order".
+    """
+    if sort_within_rows:
+        order = np.lexsort((coo.cols, coo.rows))
+    else:
+        order = np.argsort(coo.rows, kind="stable")
+    rows = coo.rows[order]
+    counts = np.bincount(rows, minlength=coo.n_rows)
+    row_offsets = np.zeros(coo.n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=row_offsets[1:])
+    return CSRMatrix(
+        coo.n_rows,
+        coo.n_cols,
+        row_offsets,
+        coo.cols[order],
+        coo.values[order],
+    )
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    """Convert a CSR matrix to COO, preserving in-row entry order."""
+    rows = np.repeat(
+        np.arange(csr.n_rows, dtype=INDEX_DTYPE), np.diff(csr.row_offsets)
+    )
+    return COOMatrix(
+        csr.n_rows,
+        csr.n_cols,
+        rows,
+        csr.col_indices.copy(),
+        csr.values.copy(),
+    )

@@ -1,0 +1,151 @@
+"""Coordinate-format (COO) sparse matrix container.
+
+COO stores one ``(row, col, value)`` triple per non-zero.  It is the
+natural output format of the graph generators and the input format for
+CSR construction.  The container is intentionally minimal: it validates
+its invariants on construction and exposes read-only views; all
+non-trivial algorithms live in sibling modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+def _as_index_array(name: str, data: object) -> np.ndarray:
+    array = np.asarray(data)
+    if array.ndim != 1:
+        raise ShapeError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size and not np.issubdtype(array.dtype, np.integer):
+        raise FormatError(f"{name} must hold integers, got dtype {array.dtype}")
+    return array.astype(INDEX_DTYPE, copy=False)
+
+
+def _as_value_array(name: str, data: object, length: int) -> np.ndarray:
+    array = np.asarray(data, dtype=VALUE_DTYPE)
+    if array.ndim != 1:
+        raise ShapeError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size != length:
+        raise ShapeError(
+            f"{name} has {array.size} entries but the matrix has {length} non-zeros"
+        )
+    return array
+
+
+class COOMatrix:
+    """A sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Matrix dimensions.  Both must be non-negative.
+    rows, cols:
+        Per-non-zero row and column indices.  Must be equal-length,
+        one-dimensional integer arrays with entries inside the matrix
+        bounds.
+    values:
+        Optional per-non-zero values; defaults to all ones (the
+        adjacency-matrix convention used throughout the paper).
+
+    Duplicate ``(row, col)`` pairs are permitted; see
+    :func:`repro.sparse.ops.merge_duplicates` to combine them.
+    """
+
+    __slots__ = ("n_rows", "n_cols", "rows", "cols", "values")
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        rows: object,
+        cols: object,
+        values: object = None,
+    ) -> None:
+        if n_rows < 0 or n_cols < 0:
+            raise ShapeError(f"matrix dimensions must be non-negative, got {n_rows}x{n_cols}")
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.rows = _as_index_array("rows", rows)
+        self.cols = _as_index_array("cols", cols)
+        if self.rows.size != self.cols.size:
+            raise ShapeError(
+                f"rows ({self.rows.size}) and cols ({self.cols.size}) differ in length"
+            )
+        if values is None:
+            self.values = np.ones(self.rows.size, dtype=VALUE_DTYPE)
+        else:
+            self.values = _as_value_array("values", values, self.rows.size)
+        self._check_bounds()
+
+    def _check_bounds(self) -> None:
+        if self.rows.size == 0:
+            return
+        if self.rows.min() < 0 or self.rows.max() >= self.n_rows:
+            raise FormatError(
+                f"row indices out of bounds for {self.n_rows} rows: "
+                f"[{self.rows.min()}, {self.rows.max()}]"
+            )
+        if self.cols.min() < 0 or self.cols.max() >= self.n_cols:
+            raise FormatError(
+                f"column indices out of bounds for {self.n_cols} cols: "
+                f"[{self.cols.min()}, {self.cols.max()}]"
+            )
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (including any duplicates)."""
+        return int(self.rows.size)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def is_square(self) -> bool:
+        return self.n_rows == self.n_cols
+
+    def copy(self) -> "COOMatrix":
+        return COOMatrix(
+            self.n_rows,
+            self.n_cols,
+            self.rows.copy(),
+            self.cols.copy(),
+            self.values.copy(),
+        )
+
+    def triples(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(row, col, value)`` triples (test/debug aid)."""
+        for r, c, v in zip(self.rows, self.cols, self.values):
+            yield int(r), int(c), float(v)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array (small matrices only)."""
+        dense = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, COOMatrix):
+            return NotImplemented
+        if self.shape != other.shape or self.nnz != other.nnz:
+            return False
+        order_a = np.lexsort((self.cols, self.rows))
+        order_b = np.lexsort((other.cols, other.rows))
+        return (
+            bool(np.array_equal(self.rows[order_a], other.rows[order_b]))
+            and bool(np.array_equal(self.cols[order_a], other.cols[order_b]))
+            and bool(np.allclose(self.values[order_a], other.values[order_b]))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable container
+        raise TypeError("COOMatrix is not hashable")
+
+    def __repr__(self) -> str:
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

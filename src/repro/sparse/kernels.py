@@ -1,0 +1,91 @@
+"""Reference sparse linear-algebra kernels.
+
+These are numerically faithful implementations of the kernels whose
+memory behaviour the paper studies: SpMV with the matrix in CSR or COO
+format and SpMM (sparse matrix times dense matrix) with the matrix in
+CSR format.  The corresponding *memory traces* (what the cache
+simulator consumes) are produced separately by :mod:`repro.trace`,
+which mirrors the exact array walk these kernels perform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def spmv_csr(matrix: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` with ``A`` in CSR format (Algorithm 1 of the paper)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.n_cols,):
+        raise ShapeError(
+            f"input vector has shape {x.shape}, expected ({matrix.n_cols},)"
+        )
+    y = np.zeros(matrix.n_rows, dtype=np.float64)
+    gathered = matrix.values * x[matrix.col_indices]
+    np.add.at(y, _row_ids(matrix), gathered)
+    return y
+
+
+def spmv_coo(matrix: COOMatrix, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` with ``A`` in COO format."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.n_cols,):
+        raise ShapeError(
+            f"input vector has shape {x.shape}, expected ({matrix.n_cols},)"
+        )
+    y = np.zeros(matrix.n_rows, dtype=np.float64)
+    np.add.at(y, matrix.rows, matrix.values * x[matrix.cols])
+    return y
+
+
+def spmm_csr(matrix: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """``Y = A @ B`` with ``A`` in CSR and ``B`` a dense ``n_cols x k`` matrix."""
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2 or dense.shape[0] != matrix.n_cols:
+        raise ShapeError(
+            f"dense operand has shape {dense.shape}, expected ({matrix.n_cols}, k)"
+        )
+    out = np.zeros((matrix.n_rows, dense.shape[1]), dtype=np.float64)
+    gathered = matrix.values[:, None] * dense[matrix.col_indices]
+    np.add.at(out, _row_ids(matrix), gathered)
+    return out
+
+
+def spmv_csr_tiled(matrix: CSRMatrix, x: np.ndarray, n_tiles: int) -> np.ndarray:
+    """``y = A @ x`` computed tile by tile over column ranges.
+
+    Numerically equivalent to :func:`spmv_csr` (floating-point
+    accumulation order aside); exists to validate that the tiled
+    execution model traced by :mod:`repro.trace.tiled` computes the
+    same result.
+    """
+    if n_tiles < 1:
+        raise ValueError(f"n_tiles must be >= 1, got {n_tiles}")
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.n_cols,):
+        raise ShapeError(
+            f"input vector has shape {x.shape}, expected ({matrix.n_cols},)"
+        )
+    y = np.zeros(matrix.n_rows, dtype=np.float64)
+    tile_width = -(-matrix.n_cols // n_tiles)
+    row_ids = _row_ids(matrix)
+    tile_of_entry = matrix.col_indices // tile_width
+    for tile in range(n_tiles):
+        inside = tile_of_entry == tile
+        if not inside.any():
+            continue
+        np.add.at(
+            y,
+            row_ids[inside],
+            matrix.values[inside] * x[matrix.col_indices[inside]],
+        )
+    return y
+
+
+def _row_ids(matrix: CSRMatrix) -> np.ndarray:
+    """Per-non-zero row index of a CSR matrix."""
+    return np.repeat(np.arange(matrix.n_rows), np.diff(matrix.row_offsets))

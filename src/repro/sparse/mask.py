@@ -1,0 +1,60 @@
+"""Masking a matrix down to a subset of nodes.
+
+Used by the Figure 6 experiment: the paper evaluates SpMV's DRAM
+traffic on "just the insular sub-matrix (evaluated by masking all
+non-zeros that do not connect to insular nodes)".  The masked matrix
+keeps the original dimensions so node IDs stay comparable; only the
+non-zeros change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+_MODES = ("either", "both", "row", "col")
+
+
+def restrict_to_nodes(csr: CSRMatrix, node_mask: np.ndarray, mode: str = "either") -> CSRMatrix:
+    """Keep only non-zeros that touch nodes selected by ``node_mask``.
+
+    Parameters
+    ----------
+    csr:
+        Square source matrix.
+    node_mask:
+        Boolean array of length ``n_rows``; ``True`` marks selected nodes.
+    mode:
+        ``"either"`` keeps a non-zero if its row *or* column is selected
+        (the paper's "connect to insular nodes" criterion), ``"both"``
+        requires both endpoints, ``"row"``/``"col"`` look at a single
+        endpoint.
+    """
+    if not csr.is_square:
+        raise ShapeError(f"node masking requires a square matrix, got {csr.shape}")
+    if mode not in _MODES:
+        raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
+    node_mask = np.asarray(node_mask, dtype=bool)
+    if node_mask.shape != (csr.n_rows,):
+        raise ShapeError(
+            f"node_mask has shape {node_mask.shape}, expected ({csr.n_rows},)"
+        )
+    coo = csr_to_coo(csr)
+    row_selected = node_mask[coo.rows]
+    col_selected = node_mask[coo.cols]
+    if mode == "either":
+        keep = row_selected | col_selected
+    elif mode == "both":
+        keep = row_selected & col_selected
+    elif mode == "row":
+        keep = row_selected
+    else:
+        keep = col_selected
+    masked = COOMatrix(
+        coo.n_rows, coo.n_cols, coo.rows[keep], coo.cols[keep], coo.values[keep]
+    )
+    return coo_to_csr(masked)

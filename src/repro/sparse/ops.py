@@ -1,0 +1,69 @@
+"""Structural operations on sparse matrices.
+
+These operate on COO (the format the generators emit) because every
+operation here is a whole-matrix restructure for which COO's flat
+triple arrays are the natural representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse.coo import COOMatrix
+
+
+def transpose(coo: COOMatrix) -> COOMatrix:
+    """Swap rows and columns."""
+    return COOMatrix(coo.n_cols, coo.n_rows, coo.cols.copy(), coo.rows.copy(), coo.values.copy())
+
+
+def drop_self_loops(coo: COOMatrix) -> COOMatrix:
+    """Remove entries on the main diagonal."""
+    keep = coo.rows != coo.cols
+    return COOMatrix(coo.n_rows, coo.n_cols, coo.rows[keep], coo.cols[keep], coo.values[keep])
+
+
+def merge_duplicates(coo: COOMatrix) -> COOMatrix:
+    """Combine duplicate coordinates by summing their values.
+
+    The result is sorted in row-major order (a side effect of the
+    grouping pass) with exactly one entry per distinct coordinate.
+    """
+    if coo.nnz == 0:
+        return coo.copy()
+    order = np.lexsort((coo.cols, coo.rows))
+    rows = coo.rows[order]
+    cols = coo.cols[order]
+    values = coo.values[order]
+    is_first = np.empty(rows.size, dtype=bool)
+    is_first[0] = True
+    is_first[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+    group = np.cumsum(is_first) - 1
+    summed = np.zeros(int(group[-1]) + 1, dtype=values.dtype)
+    np.add.at(summed, group, values)
+    return COOMatrix(coo.n_rows, coo.n_cols, rows[is_first], cols[is_first], summed)
+
+
+def symmetrize(coo: COOMatrix) -> COOMatrix:
+    """Return the undirected version ``A + A^T`` with duplicates merged.
+
+    Reordering techniques such as RABBIT run community detection on the
+    undirected structure of the matrix, so directed inputs are
+    symmetrized before detection.  Requires a square matrix.
+    """
+    if not coo.is_square:
+        raise ShapeError(f"symmetrize requires a square matrix, got {coo.shape}")
+    rows = np.concatenate([coo.rows, coo.cols])
+    cols = np.concatenate([coo.cols, coo.rows])
+    values = np.concatenate([coo.values, coo.values])
+    return merge_duplicates(COOMatrix(coo.n_rows, coo.n_cols, rows, cols, values))
+
+
+def is_symmetric(coo: COOMatrix) -> bool:
+    """Whether the sparsity pattern and values are symmetric."""
+    if not coo.is_square:
+        return False
+    merged = merge_duplicates(coo)
+    flipped = merge_duplicates(transpose(coo))
+    return merged == flipped

@@ -1,0 +1,322 @@
+"""Line-granular access traces for SpMV (CSR/COO) and SpMM (CSR).
+
+Each builder walks the arrays exactly as the reference kernel does
+(paper Algorithm 1 for SpMV-CSR) and emits one line ID per access,
+with consecutive same-line accesses collapsed.  The ``schedule``
+parameter optionally interleaves row processing across partitions to
+mimic concurrent GPU scheduling; the default sequential walk matches
+the row-major traversal the paper's own simulator validated against
+real-GPU counters (within 4%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.trace.layout import AddressSpace
+
+#: Region names holding irregularly-accessed data (gathers through the
+#: column indices); the performance model charges their misses at
+#: reduced DRAM efficiency.
+IRREGULAR_REGIONS = ("x", "b")
+
+SCHEDULES = ("sequential", "interleaved")
+
+
+@dataclass
+class KernelTrace:
+    """A kernel's memory trace plus the metadata the model needs."""
+
+    kernel: str
+    lines: np.ndarray
+    regions: List[Tuple[str, int, int]]
+    n_rows: int
+    nnz: int
+    #: Raw (pre-collapse) irregular gather count.
+    n_irregular: int
+    irregular_regions: Tuple[str, ...] = IRREGULAR_REGIONS
+    line_bytes: int = 32
+    element_bytes: int = 4
+    #: Analytic compulsory-traffic estimate, paper Section IV-B formula.
+    analytic_compulsory_bytes: int = 0
+    schedule: str = "sequential"
+
+    @property
+    def n_accesses(self) -> int:
+        return int(self.lines.size)
+
+
+def _collapse(lines: np.ndarray) -> np.ndarray:
+    """Drop consecutive duplicate line IDs (trivial hits)."""
+    if lines.size == 0:
+        return lines
+    keep = np.empty(lines.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    return lines[keep]
+
+
+def _row_order(n_rows: int, schedule: str, n_partitions: int) -> np.ndarray:
+    if schedule not in SCHEDULES:
+        raise ValidationError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
+    if schedule == "sequential" or n_rows == 0:
+        return np.arange(n_rows, dtype=np.int64)
+    if n_partitions < 1:
+        raise ValidationError(f"n_partitions must be >= 1, got {n_partitions}")
+    # Split rows into contiguous chunks and take one row per chunk in
+    # round-robin order, mimicking concurrent SMs walking their chunks.
+    parts = np.array_split(np.arange(n_rows, dtype=np.int64), n_partitions)
+    width = max(part.size for part in parts)
+    order = np.full((width, n_partitions), -1, dtype=np.int64)
+    for column, part in enumerate(parts):
+        order[: part.size, column] = part
+    flat = order.reshape(-1)
+    return flat[flat >= 0]
+
+
+def spmv_csr_trace(
+    matrix: CSRMatrix,
+    element_bytes: int = 4,
+    line_bytes: int = 32,
+    schedule: str = "sequential",
+    n_partitions: int = 32,
+) -> KernelTrace:
+    """Trace of ``y = A @ x`` with A in CSR (paper Algorithm 1).
+
+    Per row: one ``rowOffsets`` read, then per non-zero a ``coords``
+    read, a ``values`` read and the irregular ``x`` gather, and finally
+    the ``y`` store.
+    """
+    n = matrix.n_rows
+    nnz = matrix.nnz
+    space = AddressSpace(line_bytes)
+    ro = space.allocate("row_offsets", n + 1, element_bytes)
+    coords = space.allocate("coords", nnz, element_bytes)
+    values = space.allocate("values", nnz, element_bytes)
+    x = space.allocate("x", matrix.n_cols, element_bytes)
+    y = space.allocate("y", n, element_bytes)
+
+    order = _row_order(n, schedule, n_partitions)
+    degrees = np.diff(matrix.row_offsets)[order]
+    seg_lengths = 3 * degrees + 2
+    seg_offsets = np.zeros(order.size + 1, dtype=np.int64)
+    np.cumsum(seg_lengths, out=seg_offsets[1:])
+    out = np.empty(int(seg_offsets[-1]), dtype=np.int64)
+
+    out[seg_offsets[:-1]] = ro.lines_of(order)
+    out[seg_offsets[1:] - 1] = y.lines_of(order)
+
+    # Non-zero entries, laid out in processing order.
+    entry_index = _entries_in_row_order(matrix, order)
+    if entry_index.size:
+        row_position = np.repeat(np.arange(order.size, dtype=np.int64), degrees)
+        local = _local_indices(degrees)
+        base = seg_offsets[row_position] + 1 + 3 * local
+        out[base] = coords.lines_of(entry_index)
+        out[base + 1] = values.lines_of(entry_index)
+        out[base + 2] = x.lines_of(matrix.col_indices[entry_index])
+
+    analytic = (2 * n + (n + 1) + 2 * nnz) * element_bytes
+    return KernelTrace(
+        kernel="spmv-csr",
+        lines=_collapse(out),
+        regions=space.region_bounds(),
+        n_rows=n,
+        nnz=nnz,
+        n_irregular=nnz,
+        line_bytes=line_bytes,
+        element_bytes=element_bytes,
+        analytic_compulsory_bytes=analytic,
+        schedule=schedule,
+    )
+
+
+def spmv_coo_trace(
+    matrix: COOMatrix,
+    element_bytes: int = 4,
+    line_bytes: int = 32,
+) -> KernelTrace:
+    """Trace of ``y = A @ x`` with A in COO.
+
+    Per non-zero: ``rows``, ``cols`` and ``vals`` stream reads, the
+    irregular ``x`` gather, and the ``y`` update (streaming when the
+    COO is row-sorted, which cuSPARSE requires).
+    """
+    n = matrix.n_rows
+    nnz = matrix.nnz
+    space = AddressSpace(line_bytes)
+    rows = space.allocate("rows", nnz, element_bytes)
+    cols = space.allocate("cols", nnz, element_bytes)
+    vals = space.allocate("values", nnz, element_bytes)
+    x = space.allocate("x", matrix.n_cols, element_bytes)
+    y = space.allocate("y", n, element_bytes)
+
+    order = np.argsort(matrix.rows, kind="stable")
+    out = np.empty(5 * nnz, dtype=np.int64)
+    entries = np.arange(nnz, dtype=np.int64)
+    out[0::5] = rows.lines_of(entries)
+    out[1::5] = cols.lines_of(entries)
+    out[2::5] = vals.lines_of(entries)
+    out[3::5] = x.lines_of(matrix.cols[order])
+    out[4::5] = y.lines_of(matrix.rows[order])
+
+    analytic = (2 * n + 3 * nnz) * element_bytes
+    return KernelTrace(
+        kernel="spmv-coo",
+        lines=_collapse(out),
+        regions=space.region_bounds(),
+        n_rows=n,
+        nnz=nnz,
+        n_irregular=nnz,
+        line_bytes=line_bytes,
+        element_bytes=element_bytes,
+        analytic_compulsory_bytes=analytic,
+    )
+
+
+def spmv_csc_trace(
+    matrix: "object",
+    element_bytes: int = 4,
+    line_bytes: int = 32,
+) -> KernelTrace:
+    """Trace of scatter-style ``y = A @ x`` with A in CSC format.
+
+    Column-major traversal: ``col_offsets``, ``row_indices``, ``values``
+    and the input vector all stream; the *output* vector is the
+    irregular side (``y[row_indices[i]] += ...``).  The irregular
+    region is therefore ``y`` — the pull/push mirror image of the CSR
+    trace.
+    """
+    from repro.sparse.csc import CSCMatrix
+
+    if not isinstance(matrix, CSCMatrix):
+        raise ValidationError(f"spmv_csc_trace requires a CSCMatrix, got {type(matrix).__name__}")
+    n = matrix.n_rows
+    nnz = matrix.nnz
+    space = AddressSpace(line_bytes)
+    co = space.allocate("col_offsets", matrix.n_cols + 1, element_bytes)
+    rows_region = space.allocate("rows", max(1, nnz), element_bytes)
+    values = space.allocate("values", max(1, nnz), element_bytes)
+    x = space.allocate("x", matrix.n_cols, element_bytes)
+    y = space.allocate("y", max(1, n), element_bytes)
+
+    degrees = np.diff(matrix.col_offsets)
+    seg_lengths = 2 + 3 * degrees  # col offset + x read + per entry triple
+    seg_offsets = np.zeros(matrix.n_cols + 1, dtype=np.int64)
+    np.cumsum(seg_lengths, out=seg_offsets[1:])
+    out = np.empty(int(seg_offsets[-1]), dtype=np.int64)
+
+    columns = np.arange(matrix.n_cols, dtype=np.int64)
+    out[seg_offsets[:-1]] = co.lines_of(columns)
+    out[seg_offsets[:-1] + 1] = x.lines_of(columns)
+
+    if nnz:
+        col_of_entry = np.repeat(columns, degrees)
+        local = _local_indices(degrees)
+        base = seg_offsets[col_of_entry] + 2 + 3 * local
+        entries = np.arange(nnz, dtype=np.int64)
+        out[base] = rows_region.lines_of(entries)
+        out[base + 1] = values.lines_of(entries)
+        out[base + 2] = y.lines_of(matrix.row_indices)
+
+    analytic = (2 * n + (matrix.n_cols + 1) + 2 * nnz) * element_bytes
+    return KernelTrace(
+        kernel="spmv-csc",
+        lines=_collapse(out),
+        regions=space.region_bounds(),
+        n_rows=n,
+        nnz=nnz,
+        n_irregular=nnz,
+        irregular_regions=("y",),
+        line_bytes=line_bytes,
+        element_bytes=element_bytes,
+        analytic_compulsory_bytes=analytic,
+    )
+
+
+def spmm_csr_trace(
+    matrix: CSRMatrix,
+    k: int,
+    element_bytes: int = 4,
+    line_bytes: int = 32,
+) -> KernelTrace:
+    """Trace of ``Y = A @ B`` with A in CSR and B dense ``n x k`` row-major.
+
+    Per non-zero, the gather reads the whole ``k``-element row of B —
+    the irregular footprint grows by a factor of ``k`` relative to
+    SpMV, which is why the paper's Table IV ratios explode for
+    SpMM-CSR-256.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    n = matrix.n_rows
+    nnz = matrix.nnz
+    space = AddressSpace(line_bytes)
+    ro = space.allocate("row_offsets", n + 1, element_bytes)
+    coords = space.allocate("coords", nnz, element_bytes)
+    values = space.allocate("values", nnz, element_bytes)
+    b = space.allocate("b", matrix.n_cols * k, element_bytes)
+    y = space.allocate("y", n * k, element_bytes)
+
+    gather_starts, span = b.byte_span_lines(matrix.col_indices * k, k)
+    y_starts, y_span = y.byte_span_lines(np.arange(n, dtype=np.int64) * k, k)
+
+    degrees = np.diff(matrix.row_offsets)
+    per_entry = 2 + span
+    seg_lengths = 1 + per_entry * degrees + y_span
+    seg_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(seg_lengths, out=seg_offsets[1:])
+    out = np.empty(int(seg_offsets[-1]), dtype=np.int64)
+
+    out[seg_offsets[:-1]] = ro.lines_of(np.arange(n, dtype=np.int64))
+    for t in range(y_span):
+        out[seg_offsets[1:] - y_span + t] = y_starts + t
+
+    if nnz:
+        row_of_entry = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        local = _local_indices(degrees)
+        base = seg_offsets[row_of_entry] + 1 + per_entry * local
+        entries = np.arange(nnz, dtype=np.int64)
+        out[base] = coords.lines_of(entries)
+        out[base + 1] = values.lines_of(entries)
+        for t in range(span):
+            out[base + 2 + t] = gather_starts + t
+
+    analytic = ((n + 1) + 2 * nnz + 2 * n * k) * element_bytes
+    return KernelTrace(
+        kernel=f"spmm-csr-{k}",
+        lines=_collapse(out),
+        regions=space.region_bounds(),
+        n_rows=n,
+        nnz=nnz,
+        n_irregular=nnz * span,
+        line_bytes=line_bytes,
+        element_bytes=element_bytes,
+        analytic_compulsory_bytes=analytic,
+    )
+
+
+def _local_indices(degrees: np.ndarray) -> np.ndarray:
+    """Per-entry offset within its row: [0..d0), [0..d1), ..."""
+    total = int(degrees.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    row_position = np.repeat(np.arange(degrees.size, dtype=np.int64), degrees)
+    cumulative = np.concatenate([[0], np.cumsum(degrees)[:-1]])
+    return np.arange(total, dtype=np.int64) - cumulative[row_position]
+
+
+def _entries_in_row_order(matrix: CSRMatrix, order: np.ndarray) -> np.ndarray:
+    """CSR entry indices laid out in the given row-processing order."""
+    if matrix.nnz == 0:
+        return np.empty(0, dtype=np.int64)
+    degrees = np.diff(matrix.row_offsets)[order]
+    starts = matrix.row_offsets[order]
+    row_position = np.repeat(np.arange(order.size, dtype=np.int64), degrees)
+    return starts[row_position] + _local_indices(degrees)

@@ -1,0 +1,109 @@
+"""Virtual address-space layout for kernel traces.
+
+Each kernel array gets a :class:`Region` of line IDs that never
+overlaps another region, so the simulator can attribute misses to
+specific arrays (the performance model charges irregular-region misses
+at reduced DRAM efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous array in the traced address space."""
+
+    name: str
+    base_line: int
+    n_elements: int
+    element_bytes: int
+    line_bytes: int
+
+    @property
+    def n_lines(self) -> int:
+        total_bytes = self.n_elements * self.element_bytes
+        return max(1, -(-total_bytes // self.line_bytes))
+
+    @property
+    def end_line(self) -> int:
+        """One past the last line ID of this region."""
+        return self.base_line + self.n_lines
+
+    def lines_of(self, indices: np.ndarray) -> np.ndarray:
+        """Line IDs of the given element indices (vectorized)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.base_line + (indices * self.element_bytes) // self.line_bytes
+
+    def byte_span_lines(self, first_element: np.ndarray, n_elements: int) -> Tuple[np.ndarray, int]:
+        """First line and (constant) line count of fixed-size gathers.
+
+        Used by SpMM, where each gather reads ``n_elements`` consecutive
+        elements per node.  Requires the gather size to be line-aligned
+        (a power-of-two multiple or divisor of the line size) so the
+        span is the same for every node.
+        """
+        gather_bytes = n_elements * self.element_bytes
+        if gather_bytes >= self.line_bytes:
+            if gather_bytes % self.line_bytes != 0:
+                raise ValidationError(
+                    f"gather of {gather_bytes}B must be a multiple of the "
+                    f"{self.line_bytes}B line size"
+                )
+            span = gather_bytes // self.line_bytes
+        else:
+            if self.line_bytes % gather_bytes != 0:
+                raise ValidationError(
+                    f"gather of {gather_bytes}B must divide the "
+                    f"{self.line_bytes}B line size"
+                )
+            span = 1
+        first = np.asarray(first_element, dtype=np.int64)
+        start_lines = self.base_line + (first * self.element_bytes) // self.line_bytes
+        return start_lines, int(span)
+
+
+class AddressSpace:
+    """Sequential allocator of non-overlapping regions."""
+
+    def __init__(self, line_bytes: int = 32) -> None:
+        if line_bytes <= 0:
+            raise ValidationError(f"line_bytes must be positive, got {line_bytes}")
+        self.line_bytes = int(line_bytes)
+        self._next_line = 0
+        self._regions: Dict[str, Region] = {}
+
+    def allocate(self, name: str, n_elements: int, element_bytes: int) -> Region:
+        if name in self._regions:
+            raise ValidationError(f"region {name!r} already allocated")
+        if n_elements < 0 or element_bytes <= 0:
+            raise ValidationError(
+                f"bad region spec: {n_elements} elements of {element_bytes}B"
+            )
+        region = Region(
+            name=name,
+            base_line=self._next_line,
+            n_elements=max(1, int(n_elements)),
+            element_bytes=int(element_bytes),
+            line_bytes=self.line_bytes,
+        )
+        # Pad with one guard line so adjacent regions never share a line.
+        self._next_line = region.end_line + 1
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        return self._regions[name]
+
+    def region_bounds(self) -> List[Tuple[str, int, int]]:
+        """(name, first line, one-past-last line) for every region."""
+        return [
+            (region.name, region.base_line, region.end_line)
+            for region in self._regions.values()
+        ]

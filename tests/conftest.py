@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+``figure1_graph`` reconstructs the worked example of the paper's
+Figure 1: 9 nodes in three communities (sizes 4, 3 and 2), each fully
+connected internally, plus two inter-community edges — 24 directed
+adjacency entries of which 20 are intra-community, giving the
+insularity value 20/24 ≈ 0.83 quoted in Section V-A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community.assignment import CommunityAssignment
+from repro.graphs.graph import Graph
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+
+
+def undirected_graph(n: int, edges) -> Graph:
+    """Build an undirected Graph from a list of (u, v) pairs."""
+    u = np.asarray([a for a, _ in edges], dtype=np.int64)
+    v = np.asarray([b for _, b in edges], dtype=np.int64)
+    coo = COOMatrix(
+        n, n, np.concatenate([u, v]), np.concatenate([v, u])
+    )
+    return Graph(coo_to_csr(coo), directed=False)
+
+
+FIGURE1_COMMUNITIES = [0, 0, 0, 0, 1, 1, 1, 2, 2]
+
+FIGURE1_EDGES = [
+    # Community 0: clique over {0, 1, 2, 3} (6 edges).
+    (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+    # Community 1: clique over {4, 5, 6} (3 edges).
+    (4, 5), (4, 6), (5, 6),
+    # Community 2: single edge {7, 8}.
+    (7, 8),
+    # Two inter-community edges.
+    (3, 4), (6, 7),
+]
+
+
+@pytest.fixture
+def figure1_graph() -> Graph:
+    return undirected_graph(9, FIGURE1_EDGES)
+
+
+@pytest.fixture
+def figure1_assignment() -> CommunityAssignment:
+    return CommunityAssignment(np.asarray(FIGURE1_COMMUNITIES, dtype=np.int64))
+
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two triangles joined by one edge — the canonical Louvain example."""
+    return undirected_graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    return undirected_graph(8, [(i, i + 1) for i in range(7)])
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """Hub node 0 connected to 7 leaves."""
+    return undirected_graph(8, [(0, i) for i in range(1, 8)])
+
+
+@pytest.fixture
+def small_coo() -> COOMatrix:
+    """A 4x4 asymmetric matrix with a duplicate coordinate."""
+    return COOMatrix(
+        4,
+        4,
+        rows=[0, 0, 1, 2, 3, 3],
+        cols=[1, 3, 2, 0, 3, 3],
+        values=[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+    )

@@ -1,0 +1,73 @@
+"""High-level convenience API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    evaluate_ordering,
+    load_graph,
+    make_technique,
+    reorder_matrix,
+)
+from repro.gpu.specs import scaled_platform
+
+
+class TestReorderMatrix:
+    def test_accepts_graph_and_name(self):
+        graph = load_graph("test-comm")
+        reordered = reorder_matrix(graph, "rabbit")
+        assert reordered.shape == graph.adjacency.shape
+        assert reordered.nnz == graph.adjacency.nnz
+
+    def test_accepts_csr_and_instance(self):
+        graph = load_graph("test-mesh")
+        reordered = reorder_matrix(graph.adjacency, make_technique("rcm"))
+        assert reordered.nnz == graph.adjacency.nnz
+
+
+class TestEvaluateOrdering:
+    def test_unpermuted_evaluation(self):
+        graph = load_graph("test-comm")
+        run = evaluate_ordering(graph, platform=scaled_platform("test"))
+        assert run.normalized_traffic >= 1.0
+
+    def test_rabbit_improves_over_random(self):
+        graph = load_graph("test-comm")
+        platform = scaled_platform("test")
+        random_perm = make_technique("random").compute(graph)
+        rabbit_perm = make_technique("rabbit").compute(graph)
+        random_run = evaluate_ordering(graph, random_perm, platform=platform)
+        rabbit_run = evaluate_ordering(graph, rabbit_perm, platform=platform)
+        assert rabbit_run.normalized_traffic < random_run.normalized_traffic
+
+    def test_kernel_selection(self):
+        graph = load_graph("test-mesh")
+        platform = scaled_platform("test")
+        for kernel in ("spmv-csr", "spmv-coo", "spmm-csr-4"):
+            run = evaluate_ordering(graph, kernel=kernel, platform=platform)
+            assert run.kernel == kernel
+
+    def test_unknown_kernel(self):
+        graph = load_graph("test-mesh")
+        with pytest.raises(ValueError):
+            evaluate_ordering(graph, kernel="fft")
+
+    def test_belady_policy(self):
+        graph = load_graph("test-mesh")
+        platform = scaled_platform("test")
+        lru = evaluate_ordering(graph, platform=platform, policy="lru")
+        opt = evaluate_ordering(graph, platform=platform, policy="belady")
+        assert opt.stats.misses <= lru.stats.misses
+
+
+class TestPublicNamespace:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,57 @@
+"""Cache geometry validation."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.errors import ValidationError
+
+
+class TestGeometry:
+    def test_derived_quantities(self):
+        config = CacheConfig(capacity_bytes=32 * 1024, line_bytes=32, ways=16)
+        assert config.n_lines == 1024
+        assert config.n_sets == 64
+        assert config.set_mask == 63
+
+    def test_direct_mapped(self):
+        config = CacheConfig(capacity_bytes=1024, line_bytes=32, ways=1)
+        assert config.n_sets == 32
+
+    def test_fully_associative(self):
+        config = CacheConfig(capacity_bytes=1024, line_bytes=32, ways=32)
+        assert config.n_sets == 1
+        assert config.set_mask == 0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheConfig(capacity_bytes=0)
+        with pytest.raises(ValidationError):
+            CacheConfig(capacity_bytes=1024, line_bytes=-32)
+        with pytest.raises(ValidationError):
+            CacheConfig(capacity_bytes=1024, ways=0)
+
+    def test_line_power_of_two(self):
+        with pytest.raises(ValidationError):
+            CacheConfig(capacity_bytes=960, line_bytes=30, ways=1)
+
+    def test_capacity_divisibility(self):
+        with pytest.raises(ValidationError):
+            CacheConfig(capacity_bytes=1000, line_bytes=32, ways=1)
+
+    def test_ways_divisibility(self):
+        with pytest.raises(ValidationError):
+            CacheConfig(capacity_bytes=1024, line_bytes=32, ways=7)
+
+    def test_non_power_of_two_sets_allowed(self):
+        """Real GPU L2s have non-power-of-two set counts (the A6000's
+        6 MB / 32 B / 16-way geometry yields 12288 sets); the config
+        accepts them and simulators index sets by modulo."""
+        config = CacheConfig(capacity_bytes=96 * 32, line_bytes=32, ways=16)
+        assert config.n_sets == 6
+        assert not config.has_power_of_two_sets
+
+    def test_a6000_geometry_is_valid(self):
+        from repro.gpu.specs import A6000
+
+        config = A6000.cache_config()
+        assert config.n_sets == 12288

@@ -1,0 +1,51 @@
+"""CLI smoke tests (everything runs on the test profile)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "repro" in capsys.readouterr().out
+
+    def test_corpus_list(self, capsys):
+        assert main(["corpus", "list", "--profile", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "test-comm" in out
+        assert "selected" in out
+
+    def test_techniques(self, capsys):
+        assert main(["techniques"]) == 0
+        out = capsys.readouterr().out
+        assert "rabbit++" in out
+        assert "gorder" in out
+
+    def test_metrics(self, capsys):
+        assert main(["metrics", "test-mesh", "--profile", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "insularity" in out
+        assert "skew" in out
+
+    def test_evaluate(self, capsys):
+        assert main(
+            ["evaluate", "test-mesh", "--technique", "rabbit", "--profile", "test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "normalized_traffic" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--profile", "test"]) == 0
+        assert "a6000" in capsys.readouterr().out
+
+    def test_export(self, tmp_path, capsys):
+        path = tmp_path / "out.mtx"
+        assert main(["export", "test-mesh", str(path)]) == 0
+        assert path.exists()
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("%%MatrixMarket")
+
+    def test_unknown_technique_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "test-mesh", "--technique", "bogus"])

@@ -1,0 +1,81 @@
+"""CommunityAssignment container tests."""
+
+import numpy as np
+import pytest
+
+from repro.community.assignment import CommunityAssignment
+from repro.errors import ShapeError, ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = CommunityAssignment([0, 1, 1, 0])
+        assert a.n_nodes == 4
+        assert a.n_communities == 2
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValidationError):
+            CommunityAssignment([0, -1])
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            CommunityAssignment([0.0, 1.0])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ShapeError):
+            CommunityAssignment([[0, 1]])
+
+    def test_empty(self):
+        a = CommunityAssignment(np.empty(0, dtype=np.int64))
+        assert a.n_nodes == 0
+        assert a.n_communities == 0
+
+
+class TestCompact:
+    def test_first_appearance_order(self):
+        a = CommunityAssignment([7, 3, 7, 5])
+        assert np.array_equal(a.compact().labels, [0, 1, 0, 2])
+
+    def test_already_compact_unchanged(self):
+        a = CommunityAssignment([0, 1, 2, 1])
+        assert np.array_equal(a.compact().labels, a.labels)
+
+    def test_compact_idempotent(self):
+        a = CommunityAssignment([9, 2, 9, 4]).compact()
+        assert np.array_equal(a.compact().labels, a.labels)
+
+
+class TestStats:
+    def test_sizes(self):
+        a = CommunityAssignment([5, 5, 9, 5])
+        assert np.array_equal(a.sizes(), [3, 1])
+
+    def test_average_and_largest(self):
+        a = CommunityAssignment([0, 0, 1, 1, 1, 2])
+        assert a.average_size() == pytest.approx(2.0)
+        assert a.largest_size() == 3
+
+    def test_members(self):
+        a = CommunityAssignment([1, 0, 1])
+        members = a.members()
+        assert np.array_equal(members[0], [0, 2])
+        assert np.array_equal(members[1], [1])
+
+    def test_members_cover_all_nodes(self):
+        rng = np.random.default_rng(0)
+        a = CommunityAssignment(rng.integers(0, 5, 40))
+        members = a.members()
+        all_nodes = np.sort(np.concatenate(list(members.values())))
+        assert np.array_equal(all_nodes, np.arange(40))
+
+
+class TestEquality:
+    def test_label_renaming_invariant(self):
+        assert CommunityAssignment([0, 0, 1]) == CommunityAssignment([4, 4, 2])
+
+    def test_partition_difference_detected(self):
+        assert CommunityAssignment([0, 0, 1]) != CommunityAssignment([0, 1, 1])
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(CommunityAssignment([0]))

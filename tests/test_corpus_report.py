@@ -1,0 +1,50 @@
+"""Corpus characterization driver."""
+
+import pytest
+
+from repro.experiments import corpus_report
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(
+        profile="test", cache_dir=str(tmp_path_factory.mktemp("report-cache"))
+    )
+
+
+class TestCorpusReport:
+    def test_one_row_per_matrix(self, runner):
+        report = corpus_report.run("test", runner=runner)
+        assert len(report.rows) == len(runner.matrices())
+
+    def test_structural_diversity(self, runner):
+        """The corpus must span the paper's structural axes."""
+        report = corpus_report.run("test", runner=runner)
+        insularities = [row[9] for row in report.rows]
+        skews = [row[8] for row in report.rows]
+        assert max(insularities) - min(insularities) > 0.3
+        assert max(skews) > 2 * min(skews)
+        assert report.summary["n_categories"] >= 4
+
+    def test_values_in_range(self, runner):
+        report = corpus_report.run("test", runner=runner)
+        for row in report.rows:
+            _, _, order, nodes, nnz, avg_deg, max_deg, gini, skew, ins, frac, k = row
+            assert order in ("native", "scrambled")
+            assert 0 <= gini <= 1
+            assert 0 <= skew <= 1
+            assert 0 <= ins <= 1
+            assert 0 <= frac <= 1
+            assert max_deg >= avg_deg >= 1
+            assert k >= 1
+
+    def test_runnable_by_name(self, runner):
+        from repro.experiments.run_all import run_experiment
+
+        report = run_experiment("corpus-report", profile="test", runner=runner)
+        assert report.experiment == "corpus-report"
+
+    def test_renders(self, runner):
+        text = corpus_report.run("test", runner=runner).to_text()
+        assert "insularity" in text

@@ -1,0 +1,100 @@
+"""Merge-forest (dendrogram) tests."""
+
+import numpy as np
+import pytest
+
+from repro.community.dendrogram import Dendrogram
+from repro.errors import ValidationError
+
+
+class TestAbsorb:
+    def test_roots_shrink(self):
+        d = Dendrogram(4)
+        assert np.array_equal(d.roots(), [0, 1, 2, 3])
+        d.absorb(0, 1)
+        assert np.array_equal(d.roots(), [0, 2, 3])
+
+    def test_self_absorb_rejected(self):
+        with pytest.raises(ValidationError):
+            Dendrogram(3).absorb(1, 1)
+
+    def test_double_absorb_rejected(self):
+        d = Dendrogram(3)
+        d.absorb(0, 1)
+        with pytest.raises(ValidationError):
+            d.absorb(2, 1)
+
+    def test_absorbed_cannot_win(self):
+        d = Dendrogram(3)
+        d.absorb(0, 1)
+        with pytest.raises(ValidationError):
+            d.absorb(1, 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Dendrogram(3).absorb(0, 3)
+
+
+class TestTraversal:
+    def build_sample(self):
+        # 0 <- {1, 2}; 2 was itself absorbed after absorbing 3... build:
+        # absorb(2,3): 2 -> [3]; absorb(0,1); absorb(0,2): 0 -> [1, 2]
+        d = Dendrogram(5)
+        d.absorb(2, 3)
+        d.absorb(0, 1)
+        d.absorb(0, 2)
+        return d
+
+    def test_dfs_parent_before_children(self):
+        d = self.build_sample()
+        order = d.dfs_leaf_order().tolist()
+        assert order.index(0) < order.index(1)
+        assert order.index(0) < order.index(2)
+        assert order.index(2) < order.index(3)
+
+    def test_dfs_children_in_absorption_order(self):
+        d = self.build_sample()
+        order = d.dfs_leaf_order().tolist()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_subtree_stays_contiguous(self):
+        d = self.build_sample()
+        order = d.dfs_leaf_order().tolist()
+        # Subtree of 2 is {2, 3}: must occupy consecutive positions.
+        positions = sorted(order.index(v) for v in (2, 3))
+        assert positions[1] - positions[0] == 1
+
+    def test_ordering_is_a_permutation(self):
+        d = self.build_sample()
+        from repro.sparse.permute import check_permutation
+
+        check_permutation(d.ordering(), 5)
+
+    def test_custom_root_order(self):
+        d = self.build_sample()
+        order = d.dfs_leaf_order(root_order=[4, 0]).tolist()
+        assert order == [4, 0, 1, 2, 3]
+
+    def test_root_order_must_match_roots(self):
+        d = self.build_sample()
+        with pytest.raises(ValidationError):
+            d.dfs_leaf_order(root_order=[0])
+        with pytest.raises(ValidationError):
+            d.dfs_leaf_order(root_order=[0, 1])
+
+
+class TestSizes:
+    def test_subtree_sizes(self):
+        d = Dendrogram(5)
+        d.absorb(2, 3)
+        d.absorb(0, 1)
+        d.absorb(0, 2)
+        sizes = d.subtree_sizes()
+        assert sizes[0] == 4
+        assert sizes[2] == 2
+        assert sizes[4] == 1
+
+    def test_empty_forest(self):
+        d = Dendrogram(0)
+        assert d.dfs_leaf_order().size == 0
+        assert d.roots().size == 0

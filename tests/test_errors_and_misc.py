@@ -1,0 +1,113 @@
+"""Exception hierarchy and small cross-cutting behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CorpusError,
+    ExperimentError,
+    FormatError,
+    ReproError,
+    ShapeError,
+    ValidationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ValidationError, ShapeError, FormatError, CorpusError, ExperimentError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        """Call sites using `except ValueError` keep working."""
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(ShapeError, ValueError)
+
+    def test_corpus_error_is_key_error(self):
+        assert issubclass(CorpusError, KeyError)
+
+    def test_catchable_as_repro_error(self):
+        from repro.sparse.coo import COOMatrix
+
+        with pytest.raises(ReproError):
+            COOMatrix(2, 2, [5], [0])
+
+
+class TestRowOrderSchedules:
+    def test_interleaved_is_a_permutation_of_rows(self):
+        from repro.trace.kernel_traces import _row_order
+
+        for n in (1, 7, 31, 64, 100):
+            order = _row_order(n, "interleaved", 8)
+            assert np.array_equal(np.sort(order), np.arange(n))
+
+    def test_interleaved_round_robin_property(self):
+        from repro.trace.kernel_traces import _row_order
+
+        order = _row_order(16, "interleaved", 4)
+        # First four visits take one row from each contiguous chunk.
+        chunks = set(order[:4] // 4)
+        assert chunks == {0, 1, 2, 3}
+
+    def test_more_partitions_than_rows(self):
+        from repro.trace.kernel_traces import _row_order
+
+        order = _row_order(3, "interleaved", 16)
+        assert np.array_equal(np.sort(order), np.arange(3))
+
+    def test_bad_partition_count(self):
+        from repro.errors import ValidationError
+        from repro.trace.kernel_traces import _row_order
+
+        with pytest.raises(ValidationError):
+            _row_order(8, "interleaved", 0)
+
+
+class TestTechniqueBase:
+    def test_repr(self):
+        from repro.reorder.simple import OriginalOrder
+
+        assert "original" in repr(OriginalOrder())
+
+    def test_compute_validates_subclass_output(self):
+        from repro.errors import ValidationError
+        from repro.graphs.graph import Graph
+        from repro.reorder.base import ReorderingTechnique
+        from repro.sparse.convert import coo_to_csr
+        from repro.sparse.coo import COOMatrix
+
+        class Broken(ReorderingTechnique):
+            name = "broken"
+
+            def _compute(self, graph):
+                return np.zeros(graph.n_nodes, dtype=np.int64)  # repeats
+
+        graph = Graph(coo_to_csr(COOMatrix(3, 3, [0], [1])))
+        with pytest.raises(ValidationError):
+            Broken().compute(graph)
+
+
+class TestPlatformProfiles:
+    def test_platforms_scale_monotonically(self):
+        from repro.gpu.specs import scaled_platform
+
+        full = scaled_platform("full")
+        bench = scaled_platform("bench")
+        test = scaled_platform("test")
+        assert full.l2_capacity_bytes > bench.l2_capacity_bytes > test.l2_capacity_bytes
+
+    def test_all_platforms_yield_valid_cache_configs(self):
+        from repro.gpu.specs import A6000, scaled_platform
+
+        for spec in (A6000, scaled_platform("full"), scaled_platform("bench"), scaled_platform("test")):
+            config = spec.cache_config()
+            assert config.n_sets >= 1
+
+
+class TestCliAblations:
+    def test_experiment_accepts_ablation_names(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "corpus-report", "--profile", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus-report" in out

@@ -1,0 +1,105 @@
+"""Integration tests: every paper-artifact driver on the test profile."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.run_all import DRIVERS, run_experiment
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("driver-cache")
+    return ExperimentRunner(profile="test", cache_dir=str(cache))
+
+
+class TestDrivers:
+    def test_table1(self, runner):
+        report = run_experiment("table1", profile="test", runner=runner)
+        assert len(report.rows) == 2  # A6000 + scaled platform
+        assert report.summary["l2_scale_factor"] > 1
+
+    def test_fig2(self, runner):
+        report = run_experiment("fig2", profile="test", runner=runner)
+        assert len(report.rows) == len(runner.matrices())
+        # RANDOM must be the worst ordering on average.
+        random_mean = report.summary["mean_traffic_random"]
+        for key, value in report.summary.items():
+            if key.startswith("mean_traffic_") and key != "mean_traffic_random":
+                assert value <= random_mean + 1e-9
+        # RABBIT near the front of the pack (paper Observation 4).
+        assert report.summary["mean_traffic_rabbit"] <= report.summary[
+            "mean_traffic_degsort"
+        ]
+
+    def test_fig3_sorted_by_insularity(self, runner):
+        report = run_experiment("fig3", profile="test", runner=runner)
+        insularities = [row[1] for row in report.rows]
+        assert insularities == sorted(insularities)
+
+    def test_fig4_fractions_in_range(self, runner):
+        report = run_experiment("fig4", profile="test", runner=runner)
+        for row in report.rows:
+            assert 0.0 <= row[2] <= 1.0
+
+    def test_correlations_negative_skew_relation(self, runner):
+        report = run_experiment("sec5-correlations", profile="test", runner=runner)
+        # Paper: skew and insularity are negatively correlated (-0.721).
+        assert report.summary["pearson_insularity_skew"] < 0
+
+    def test_table2_covers_design_space(self, runner):
+        report = run_experiment("table2", profile="test", runner=runner)
+        assert len(report.rows) == 6
+        techniques = {row[2] for row in report.rows}
+        assert "rabbit++" in techniques
+
+    def test_fig6_insular_submatrix_near_ideal(self, runner):
+        report = run_experiment("fig6", profile="test", runner=runner)
+        assert report.summary["mean_insular_submatrix_traffic"] < 1.6
+
+    def test_fig7_reductions(self, runner):
+        report = run_experiment("fig7", profile="test", runner=runner)
+        # RABBIT++ should not lose to RABBIT on average.
+        assert report.summary["mean_traffic_reduction_all"] > 0.95
+
+    def test_table3_random_wastes_most(self, runner):
+        report = run_experiment("table3", profile="test", runner=runner)
+        dead = report.summary
+        assert dead["dead_fraction_random"] >= dead["dead_fraction_rabbit"]
+        assert dead["dead_fraction_rabbit++"] <= dead["dead_fraction_rabbit"]
+
+    def test_fig8_belady_never_worse(self, runner):
+        report = run_experiment("fig8", profile="test", runner=runner)
+        for row in report.rows:
+            technique, lru, belady, gap = row
+            assert belady <= lru + 1e-9
+            assert gap >= 1.0
+
+    def test_fig9_gorder_costs_most(self, runner):
+        report = run_experiment("fig9", profile="test", runner=runner)
+        # Wall-clock timings jitter on tiny inputs; assert the robust
+        # shape on the largest sweep point only.
+        n, nnz, gorder_sec, _, rabbit_sec, _, rabbitpp_sec, _ = report.rows[-1]
+        assert gorder_sec > rabbit_sec
+        assert gorder_sec > rabbitpp_sec
+
+    def test_table4_rabbit_beats_random_everywhere(self, runner):
+        report = run_experiment("table4", profile="test", runner=runner)
+        by_kernel = {}
+        for kernel, technique, all_mean, low, high in report.rows:
+            by_kernel.setdefault(kernel, {})[technique] = all_mean
+        for kernel, values in by_kernel.items():
+            assert values["rabbit"] <= values["random"], kernel
+            assert values["rabbit++"] <= values["random"], kernel
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99", profile="test")
+
+    def test_all_reports_render(self, runner):
+        for name in DRIVERS:
+            report = run_experiment(name, profile="test", runner=runner)
+            text = report.to_text()
+            assert report.experiment in text

@@ -1,0 +1,72 @@
+"""Report rendering and summary statistics."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.report import (
+    ExperimentReport,
+    arithmetic_mean,
+    geometric_mean,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-----" in lines[1]
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestMeans:
+    def test_geometric(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_requires_positive(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_empty(self):
+        with pytest.raises(ValidationError):
+            geometric_mean([])
+
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_arithmetic_empty(self):
+        with pytest.raises(ValidationError):
+            arithmetic_mean([])
+
+
+class TestReport:
+    def test_to_text_includes_paper_reference(self):
+        report = ExperimentReport(
+            experiment="figX",
+            title="demo",
+            headers=["matrix", "value"],
+            rows=[["m1", 1.5]],
+            summary={"mean": 1.5},
+            paper_reference={"mean": 1.4},
+        )
+        text = report.to_text()
+        assert "figX" in text
+        assert "(paper: 1.400)" in text
+        assert "m1" in text
+
+    def test_to_text_without_summary(self):
+        report = ExperimentReport("figY", "demo", ["a"], [["x"]])
+        assert "summary" not in report.to_text()

@@ -1,0 +1,105 @@
+"""ExperimentRunner: pipeline, memoization, and record integrity."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.runner import ExperimentRunner, MatrixMetrics, RunRecord
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return ExperimentRunner(profile="test", cache_dir=str(tmp_path / "cache"))
+
+
+class TestRun:
+    def test_record_fields(self, runner):
+        record = runner.run("test-mesh", "rabbit")
+        assert record.matrix == "test-mesh"
+        assert record.technique == "rabbit"
+        assert record.normalized_traffic >= 1.0
+        assert record.normalized_runtime >= record.normalized_traffic - 1e-9
+        assert 0.0 <= record.hit_rate <= 1.0
+        assert 0.0 <= record.dead_line_fraction <= 1.0
+
+    def test_disk_cache_roundtrip(self, runner, tmp_path):
+        first = runner.run("test-mesh", "random")
+        fresh = ExperimentRunner(profile="test", cache_dir=runner.cache_dir)
+        second = fresh.run("test-mesh", "random")
+        assert first.to_json() == second.to_json()
+        assert len(os.listdir(runner.cache_dir)) > 0
+
+    def test_cache_disabled(self, tmp_path):
+        runner = ExperimentRunner(
+            profile="test", cache_dir=str(tmp_path / "nocache"), use_cache=False
+        )
+        runner.run("test-mesh", "original")
+        assert not os.path.exists(str(tmp_path / "nocache"))
+
+    def test_unknown_kernel_rejected(self, runner):
+        with pytest.raises(ValidationError):
+            runner.run("test-mesh", "rabbit", kernel="spgemm")
+
+    def test_unknown_mask_rejected(self, runner):
+        with pytest.raises(ValidationError):
+            runner.run("test-mesh", "rabbit", mask="hubs")
+
+    def test_rabbit_beats_random_on_community_matrix(self, runner):
+        random_run = runner.run("test-comm", "random")
+        rabbit_run = runner.run("test-comm", "rabbit")
+        assert rabbit_run.normalized_traffic < random_run.normalized_traffic
+
+    def test_insular_mask_run_close_to_compulsory(self, runner):
+        record = runner.run("test-comm", "rabbit+insular", mask="insular")
+        assert record.normalized_traffic < 1.6
+
+    def test_permutation_memoized_in_process(self, runner):
+        a = runner.permutation("test-mesh", "rabbit")
+        b = runner.permutation("test-mesh", "rabbit")
+        assert a is b
+
+    def test_spmm_platform_scaling(self, runner):
+        plain = runner._platform_for_kernel("spmv-csr")
+        scaled = runner._platform_for_kernel("spmm-csr-256")
+        assert scaled.l2_capacity_bytes == plain.l2_capacity_bytes * 16
+
+
+class TestMetrics:
+    def test_metrics_fields(self, runner):
+        metrics = runner.matrix_metrics("test-comm")
+        assert metrics.n_nodes == 512
+        assert 0.0 <= metrics.insularity <= 1.0
+        assert 0.0 <= metrics.insular_node_fraction <= 1.0
+        assert 0.0 <= metrics.skew <= 1.0
+        assert metrics.n_communities >= 1
+
+    def test_metrics_cached_on_disk(self, runner):
+        runner.matrix_metrics("test-comm")
+        fresh = ExperimentRunner(profile="test", cache_dir=runner.cache_dir)
+        metrics = fresh.matrix_metrics("test-comm")
+        assert metrics.matrix == "test-comm"
+
+    def test_community_matrix_has_high_insularity(self, runner):
+        comm = runner.matrix_metrics("test-comm")
+        social = runner.matrix_metrics("test-social")
+        assert comm.insularity > social.insularity
+
+    def test_reorder_seconds_persisted(self, runner):
+        runner.run("test-mesh", "rabbit")
+        seconds = runner.reorder_seconds("test-mesh", "rabbit")
+        assert seconds >= 0.0
+
+
+class TestSerialization:
+    def test_run_record_json_roundtrip(self, runner):
+        record = runner.run("test-mesh", "dbg")
+        payload = json.loads(json.dumps(record.to_json()))
+        assert RunRecord.from_json(payload) == record
+
+    def test_matrix_metrics_json_roundtrip(self, runner):
+        metrics = runner.matrix_metrics("test-mesh")
+        payload = json.loads(json.dumps(metrics.to_json()))
+        assert MatrixMetrics.from_json(payload) == metrics

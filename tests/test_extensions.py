@@ -1,0 +1,81 @@
+"""Tests for the beyond-the-paper extensions (DESIGN.md Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import schedule_ablation, sensitivity
+from repro.experiments.run_all import ABLATIONS, run_experiment
+from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import load_graph
+from repro.reorder.louvain_order import LouvainOrder
+from repro.reorder.registry import make_technique
+from repro.sparse.permute import check_permutation
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("ext-cache")
+    return ExperimentRunner(profile="test", cache_dir=str(cache))
+
+
+class TestLouvainOrder:
+    def test_valid_permutation(self):
+        graph = load_graph("test-comm")
+        check_permutation(LouvainOrder().compute(graph), graph.n_nodes)
+
+    def test_registered(self):
+        assert make_technique("louvain").name == "louvain"
+
+    def test_communities_contiguous(self):
+        from repro.community.louvain import louvain
+
+        graph = load_graph("test-comm")
+        perm = LouvainOrder().compute(graph)
+        labels = louvain(graph).assignment.labels
+        sequence = labels[np.argsort(perm)]
+        changes = int(np.sum(sequence[1:] != sequence[:-1]))
+        assert changes == int(np.unique(labels).size) - 1
+
+    def test_improves_over_scrambled(self):
+        from repro.gpu.specs import scaled_platform
+        from repro.api import evaluate_ordering
+
+        graph = load_graph("test-comm")
+        platform = scaled_platform("test")
+        base = evaluate_ordering(graph, platform=platform)
+        perm = LouvainOrder().compute(graph)
+        ordered = evaluate_ordering(graph, perm, platform=platform)
+        assert ordered.normalized_traffic < base.normalized_traffic
+
+
+class TestCacheSensitivity:
+    def test_convergence_at_extremes(self, runner):
+        report = sensitivity.run(
+            profile="test", runner=runner, factors=(0.25, 1, 64)
+        )
+        gaps = [row[4] for row in report.rows]
+        # Huge cache: both orderings compulsory-only -> gap near 1.
+        assert gaps[-1] == pytest.approx(1.0, abs=0.05)
+        # The mid-capacity gap is the largest or near it.
+        assert report.summary["max_gap"] >= gaps[-1]
+
+    def test_runnable_by_name(self, runner):
+        report = run_experiment(
+            "ablation-cache-sensitivity", profile="test", runner=runner
+        )
+        assert report.experiment == "ablation-cache-sensitivity"
+
+
+class TestScheduleAblation:
+    def test_ranking_preserved(self, runner):
+        report = schedule_ablation.run(profile="test", runner=runner)
+        summary = report.summary
+        for schedule in ("sequential", "interleaved"):
+            assert (
+                summary[f"mean_rabbit_{schedule}"]
+                <= summary[f"mean_random_{schedule}"] + 1e-9
+            )
+
+    def test_ablations_registry(self):
+        assert "ablation-schedule" in ABLATIONS
+        assert "ablation-cache-sensitivity" in ABLATIONS

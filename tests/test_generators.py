@@ -1,0 +1,217 @@
+"""Synthetic generator structure and determinism checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.generators import (
+    barabasi_albert,
+    dcsbm,
+    erdos_renyi,
+    grid_2d,
+    grid_3d,
+    hierarchical_blocks,
+    hub_overlay,
+    kmer_chain,
+    planted_partition,
+    rmat,
+    road_network,
+    star_burst,
+    watts_strogatz,
+)
+from repro.sparse.ops import is_symmetric
+
+
+def assert_simple_symmetric(coo):
+    """No self loops, no duplicate entries, structurally symmetric."""
+    assert not np.any(coo.rows == coo.cols)
+    keys = coo.rows * coo.n_cols + coo.cols
+    assert np.unique(keys).size == keys.size
+    assert is_symmetric(coo)
+
+
+class TestErdosRenyi:
+    def test_shape_and_density(self):
+        coo = erdos_renyi(500, 8.0, seed=1)
+        assert coo.shape == (500, 500)
+        assert coo.nnz / 500 == pytest.approx(8.0, rel=0.05)
+        assert_simple_symmetric(coo)
+
+    def test_deterministic(self):
+        assert erdos_renyi(200, 6.0, seed=7) == erdos_renyi(200, 6.0, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(200, 6.0, seed=1) != erdos_renyi(200, 6.0, seed=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi(0, 8.0)
+
+
+class TestWattsStrogatz:
+    def test_zero_beta_is_ring(self):
+        coo = watts_strogatz(50, 4, 0.0, seed=1)
+        # Every node connects to its +-1 and +-2 ring neighbors.
+        degrees = np.bincount(coo.rows, minlength=50)
+        assert np.all(degrees == 4)
+        assert_simple_symmetric(coo)
+
+    def test_beta_validated(self):
+        with pytest.raises(ValidationError):
+            watts_strogatz(50, 4, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_density_and_symmetry(self):
+        coo = barabasi_albert(1000, 4, seed=2)
+        assert_simple_symmetric(coo)
+        assert coo.nnz / 1000 == pytest.approx(8.0, rel=0.15)
+
+    def test_has_skewed_degrees(self):
+        coo = barabasi_albert(2000, 4, seed=3)
+        degrees = np.bincount(coo.rows, minlength=2000)
+        assert degrees.max() > 10 * np.median(degrees)
+
+    def test_m_must_be_less_than_n(self):
+        with pytest.raises(ValidationError):
+            barabasi_albert(4, 4)
+
+
+class TestRmat:
+    def test_directed_no_loops(self):
+        coo = rmat(8, 8, seed=4)
+        assert coo.shape == (256, 256)
+        assert not np.any(coo.rows == coo.cols)
+
+    def test_undirected_option(self):
+        assert is_symmetric(rmat(7, 8, seed=5, directed=False))
+
+    def test_skew_increases_with_a(self):
+        skewed = rmat(9, 8, a=0.7, b=0.1, c=0.1, seed=6)
+        flat = rmat(9, 8, a=0.25, b=0.25, c=0.25, seed=6)
+        deg_skewed = np.bincount(skewed.cols, minlength=512).max()
+        deg_flat = np.bincount(flat.cols, minlength=512).max()
+        assert deg_skewed > deg_flat
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValidationError):
+            rmat(8, 8, a=0.6, b=0.3, c=0.3)
+
+
+class TestDcsbm:
+    def test_reaches_target_degree_despite_skew(self):
+        coo = dcsbm(1024, 16, 12.0, mu=0.3, theta_exponent=1.0, seed=7)
+        assert coo.nnz / 1024 == pytest.approx(12.0, rel=0.05)
+        assert_simple_symmetric(coo)
+
+    def test_mu_controls_mixing(self):
+        blocks = np.arange(1024) % 16
+        tight = dcsbm(1024, 16, 12.0, mu=0.05, seed=8)
+        loose = dcsbm(1024, 16, 12.0, mu=0.6, seed=8)
+
+        def cross_fraction(coo):
+            cross = blocks[coo.rows] != blocks[coo.cols]
+            return cross.mean()
+
+        assert cross_fraction(tight) < 0.15
+        assert cross_fraction(loose) > 0.4
+
+    def test_theta_controls_skew(self):
+        flat = dcsbm(1024, 8, 10.0, mu=0.2, theta_exponent=0.0, seed=9)
+        skewed = dcsbm(1024, 8, 10.0, mu=0.2, theta_exponent=1.2, seed=9)
+        deg = lambda coo: np.bincount(coo.rows, minlength=1024)
+        assert deg(skewed).max() > 2 * deg(flat).max()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            dcsbm(10, 20, 4.0, mu=0.1)
+        with pytest.raises(ValidationError):
+            dcsbm(10, 2, 4.0, mu=1.5)
+        with pytest.raises(ValidationError):
+            dcsbm(10, 2, 4.0, mu=0.1, theta_exponent=-1)
+
+
+class TestPlantedPartition:
+    def test_uniform_degrees(self):
+        coo = planted_partition(512, 16, 8.0, mu=0.1, seed=10)
+        degrees = np.bincount(coo.rows, minlength=512)
+        # No hubs: max degree within a few x of the mean.
+        assert degrees.max() < 4 * degrees.mean()
+
+
+class TestGrids:
+    def test_grid2d_interior_degree(self):
+        coo = grid_2d(5, 5)
+        degrees = np.bincount(coo.rows, minlength=25)
+        assert degrees[12] == 4  # center
+        assert degrees[0] == 2  # corner
+        assert_simple_symmetric(coo)
+
+    def test_grid2d_periodic_uniform(self):
+        coo = grid_2d(5, 5, periodic=True)
+        degrees = np.bincount(coo.rows, minlength=25)
+        assert np.all(degrees == 4)
+
+    def test_grid3d_center_degree(self):
+        coo = grid_3d(3, 3, 3)
+        degrees = np.bincount(coo.rows, minlength=27)
+        assert degrees[13] == 6  # center of the cube
+        assert_simple_symmetric(coo)
+
+
+class TestRoadNetwork:
+    def test_degree_profile(self):
+        coo = road_network(40, 40, seed=11)
+        degrees = np.bincount(coo.rows, minlength=1600)
+        assert degrees.mean() < 5  # road-like sparsity
+        assert_simple_symmetric(coo)
+
+    def test_no_drop_no_diag_equals_grid(self):
+        assert road_network(10, 10, drop_prob=0.0, diag_prob=0.0, seed=1) == grid_2d(10, 10)
+
+
+class TestKmerChain:
+    def test_low_degree(self):
+        coo = kmer_chain(1000, branch_prob=0.02, seed=12)
+        assert coo.nnz / 1000 < 3.0
+        assert_simple_symmetric(coo)
+
+    def test_zero_branching_is_disjoint_paths(self):
+        coo = kmer_chain(100, branch_prob=0.0, n_chains=4, seed=13)
+        degrees = np.bincount(coo.rows, minlength=100)
+        assert degrees.max() == 2
+
+
+class TestHubOverlay:
+    def test_hubs_gain_degree(self):
+        base = erdos_renyi(500, 4.0, seed=14)
+        overlaid = hub_overlay(base, n_hubs=5, hub_degree=100, seed=15)
+        degrees = np.bincount(overlaid.rows, minlength=500)
+        assert degrees[:5].min() > 50
+        assert_simple_symmetric(overlaid)
+
+    def test_too_many_hubs_rejected(self):
+        with pytest.raises(ValidationError):
+            hub_overlay(erdos_renyi(10, 2.0, seed=1), n_hubs=20, hub_degree=2)
+
+
+class TestStarBurst:
+    def test_giant_stars(self):
+        coo = star_burst(1000, 4, leaf_links=1, seed=16)
+        degrees = np.bincount(coo.rows, minlength=1000)
+        # Hubs absorb nearly all connectivity.
+        assert degrees[:4].sum() > 0.9 * (coo.nnz / 2)
+        assert_simple_symmetric(coo)
+
+
+class TestHierarchicalBlocks:
+    def test_local_edges_dominate(self):
+        coo = hierarchical_blocks(1024, 8, 3.0, seed=17)
+        # Most edges stay within a 1/16th block.
+        same_block = (coo.rows // 64) == (coo.cols // 64)
+        assert same_block.mean() > 0.5
+        assert_simple_symmetric(coo)
+
+    def test_decay_validated(self):
+        with pytest.raises(ValidationError):
+            hierarchical_blocks(64, 3, 2.0, decay=0.0)

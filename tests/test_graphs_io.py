@@ -1,0 +1,100 @@
+"""Matrix Market reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.graphs.io import read_matrix_market, write_matrix_market
+from repro.sparse.coo import COOMatrix
+
+
+GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 3
+1 2 1.5
+2 3 -2.0
+3 1 0.25
+"""
+
+SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 1.0
+3 3 4.0
+"""
+
+PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 1
+"""
+
+
+class TestRead:
+    def test_general(self):
+        coo = read_matrix_market(io.StringIO(GENERAL))
+        assert coo.shape == (3, 3)
+        assert coo.nnz == 3
+        assert coo.to_dense()[0, 1] == pytest.approx(1.5)
+        assert coo.to_dense()[1, 2] == pytest.approx(-2.0)
+
+    def test_symmetric_expansion(self):
+        coo = read_matrix_market(io.StringIO(SYMMETRIC))
+        dense = coo.to_dense()
+        assert dense[1, 0] == 1.0 and dense[0, 1] == 1.0
+        assert dense[2, 2] == 4.0  # diagonal not duplicated
+        assert coo.nnz == 3
+
+    def test_pattern_values_are_one(self):
+        coo = read_matrix_market(io.StringIO(PATTERN))
+        assert np.array_equal(coo.values, [1.0, 1.0])
+
+    def test_bad_header(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO("nope\n1 1 0\n"))
+
+    def test_unsupported_format(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+            )
+
+    def test_unsupported_field(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+            )
+
+    def test_truncated_file(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n")
+            )
+
+    def test_missing_size_line(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate real general\n")
+            )
+
+
+class TestRoundTrip:
+    def test_write_read_stream(self, small_coo):
+        buffer = io.StringIO()
+        write_matrix_market(small_coo, buffer, comment="round trip")
+        buffer.seek(0)
+        assert read_matrix_market(buffer) == small_coo
+
+    def test_write_read_file(self, tmp_path, small_coo):
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(small_coo, str(path))
+        assert read_matrix_market(str(path)) == small_coo
+
+    def test_corpus_entry_roundtrip(self, tmp_path):
+        from repro.graphs.corpus import load_matrix
+
+        matrix = load_matrix("test-mesh")
+        path = tmp_path / "mesh.mtx"
+        write_matrix_market(matrix, str(path))
+        assert read_matrix_market(str(path)) == matrix

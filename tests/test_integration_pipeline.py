@@ -1,0 +1,126 @@
+"""Cross-layer integration tests: the full pipeline hangs together."""
+
+import numpy as np
+import pytest
+
+from repro.api import evaluate_ordering
+from repro.cache.lru import compulsory_misses
+from repro.experiments.runner import ExperimentRunner
+from repro.gpu.specs import scaled_platform
+from repro.graphs.corpus import load_graph
+from repro.reorder.registry import make_technique
+from repro.sparse.permute import permute_symmetric
+from repro.trace.kernel_traces import spmv_csr_trace
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return ExperimentRunner(profile="test", cache_dir=str(tmp_path / "cache"))
+
+
+class TestApiRunnerAgreement:
+    def test_same_traffic_through_both_paths(self, runner):
+        """The convenience API and the experiment runner must model the
+        same bytes for the same (matrix, technique, platform)."""
+        graph = load_graph("test-comm")
+        technique = "rabbit"
+        record = runner.run("test-comm", technique)
+        perm = runner.permutation("test-comm", technique).permutation
+        run = evaluate_ordering(graph, perm, platform=runner.platform)
+        assert run.traffic_bytes == record.traffic_bytes
+        assert run.normalized_runtime == pytest.approx(record.normalized_runtime)
+
+
+class TestCompulsoryAccounting:
+    def test_measured_vs_analytic_compulsory(self):
+        """The distinct-lines compulsory measurement must agree with the
+        Section IV-B analytic formula to within line-rounding (no empty
+        rows in this matrix)."""
+        graph = load_graph("test-comm")
+        trace = spmv_csr_trace(graph.adjacency)
+        measured = compulsory_misses(trace.lines) * trace.line_bytes
+        analytic = trace.analytic_compulsory_bytes
+        assert measured == pytest.approx(analytic, rel=0.1)
+
+    def test_compulsory_invariant_under_reordering(self):
+        """Reordering changes locality, never the compulsory traffic."""
+        graph = load_graph("test-comm")
+        base = compulsory_misses(spmv_csr_trace(graph.adjacency).lines)
+        for name in ("random", "rabbit", "rabbit++"):
+            perm = make_technique(name).compute(graph)
+            permuted = permute_symmetric(graph.adjacency, perm)
+            reordered = compulsory_misses(spmv_csr_trace(permuted).lines)
+            # X-region lines can shift by +-1 line from index packing.
+            assert abs(reordered - base) <= base * 0.01
+
+
+class TestPaperShapeEndToEnd:
+    """The paper's headline qualitative claims, asserted end-to-end on
+    the test corpus with no caching layer in between."""
+
+    def test_observation1_reordering_approaches_ideal(self):
+        graph = load_graph("test-comm")
+        platform = scaled_platform("test")
+        perm = make_technique("rabbit++").compute(graph)
+        run = evaluate_ordering(graph, perm, platform=platform)
+        assert run.normalized_traffic < 1.35
+
+    def test_observation3_original_can_be_misleading(self):
+        """The same structure behaves differently under different
+        publisher orders: scrambled ~ random, native ~ good."""
+        platform = scaled_platform("test")
+        scrambled = load_graph("test-comm")  # scrambled publisher order
+        native = load_graph("test-kmer")  # native chain-major order
+        random_s = evaluate_ordering(
+            scrambled, make_technique("random").compute(scrambled), platform=platform
+        )
+        original_s = evaluate_ordering(scrambled, platform=platform)
+        assert original_s.normalized_traffic > 0.85 * random_s.normalized_traffic
+        original_n = evaluate_ordering(native, platform=platform)
+        assert original_n.normalized_traffic < 1.5
+
+    def test_observation4_rabbit_broadly_effective(self):
+        platform = scaled_platform("test")
+        for name in ("test-comm", "test-mesh", "test-kmer", "test-social"):
+            graph = load_graph(name)
+            rabbit = evaluate_ordering(
+                graph, make_technique("rabbit").compute(graph), platform=platform
+            )
+            random_run = evaluate_ordering(
+                graph, make_technique("random").compute(graph), platform=platform
+            )
+            assert rabbit.normalized_traffic <= random_run.normalized_traffic, name
+
+    def test_rabbitpp_helps_on_skewed_low_insularity_input(self):
+        graph = load_graph("test-social")
+        platform = scaled_platform("test")
+        rabbit = evaluate_ordering(
+            graph, make_technique("rabbit").compute(graph), platform=platform
+        )
+        rabbitpp = evaluate_ordering(
+            graph, make_technique("rabbit++").compute(graph), platform=platform
+        )
+        assert rabbitpp.normalized_traffic < rabbit.normalized_traffic
+
+    def test_mawi_anomaly_high_insularity_poor_performance(self):
+        """star-burst: insularity near 1 yet far from ideal (giant
+        community) — the paper's Section V-B corner case."""
+        from repro.community.rabbit import rabbit_communities
+        from repro.metrics.insularity import insularity
+        from repro.graphs.generators import star_burst
+        from repro.graphs.graph import Graph
+        from repro.sparse.convert import coo_to_csr
+
+        graph = Graph(coo_to_csr(star_burst(2048, 4, leaf_links=1, seed=9)))
+        detection = rabbit_communities(graph)
+        assert insularity(graph, detection.assignment) > 0.95
+        assert detection.assignment.sizes().max() > 0.25 * 2048
+        platform = scaled_platform("test")
+        run = evaluate_ordering(
+            graph,
+            make_technique("rabbit").compute(graph),
+            platform=platform,
+        )
+        # Despite near-perfect insularity, performance stays well away
+        # from ideal relative to what tight-community matrices achieve.
+        assert run.normalized_runtime > 1.15

@@ -1,0 +1,77 @@
+"""Louvain reference detector tests."""
+
+import numpy as np
+import pytest
+
+from repro.community.louvain import louvain
+from repro.community.modularity import modularity
+from repro.graphs.corpus import load_graph
+from repro.graphs.generators import planted_partition
+from repro.graphs.graph import Graph
+from repro.sparse.convert import coo_to_csr
+
+
+class TestClassicCases:
+    def test_two_triangles_split(self, two_triangles):
+        result = louvain(two_triangles)
+        assert result.assignment.n_communities == 2
+        labels = result.assignment.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert result.modularity == pytest.approx(2 * (3 / 7 - 0.25), abs=1e-9)
+
+    def test_figure1_communities_recovered(self, figure1_graph, figure1_assignment):
+        result = louvain(figure1_graph)
+        assert result.assignment == figure1_assignment
+
+    def test_modularity_trajectory_non_decreasing(self, figure1_graph):
+        result = louvain(figure1_graph)
+        trajectory = result.level_modularities
+        assert all(b >= a - 1e-12 for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_planted_partition_recovery(self):
+        coo = planted_partition(256, 8, 12.0, mu=0.05, seed=1)
+        graph = Graph(coo_to_csr(coo))
+        result = louvain(graph)
+        # Ground truth: node i belongs to block i % 8.
+        truth = np.arange(256) % 8
+        # Count label purity: every detected community should be
+        # dominated by one true block.
+        labels = result.assignment.labels
+        for community in range(result.assignment.n_communities):
+            members = np.flatnonzero(labels == community)
+            dominant = np.bincount(truth[members]).max()
+            assert dominant / members.size > 0.9
+
+    def test_reported_modularity_matches_assignment(self, two_triangles):
+        result = louvain(two_triangles)
+        assert result.modularity == pytest.approx(
+            modularity(two_triangles, result.assignment)
+        )
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        from repro.sparse.coo import COOMatrix
+
+        graph = Graph(coo_to_csr(COOMatrix(0, 0, [], [])))
+        result = louvain(graph)
+        assert result.assignment.n_nodes == 0
+
+    def test_edgeless_graph(self):
+        from repro.sparse.coo import COOMatrix
+
+        graph = Graph(coo_to_csr(COOMatrix(4, 4, [], [])))
+        result = louvain(graph)
+        assert result.assignment.n_communities == 4  # all singletons
+
+    def test_star_graph_single_community(self, star_graph):
+        result = louvain(star_graph)
+        # A star has no sub-structure: one community.
+        assert result.assignment.n_communities == 1
+
+    def test_deterministic(self):
+        graph = load_graph("test-comm")
+        a = louvain(graph)
+        b = louvain(graph)
+        assert a.assignment == b.assignment

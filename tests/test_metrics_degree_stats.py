@@ -1,0 +1,89 @@
+"""Degree-distribution statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.corpus import load_graph
+from repro.metrics.degree_stats import (
+    degree_statistics,
+    gini_coefficient,
+    powerlaw_alpha,
+)
+
+
+class TestGini:
+    def test_all_equal_is_zero(self):
+        assert gini_coefficient(np.asarray([5, 5, 5, 5])) == pytest.approx(0.0)
+
+    def test_one_owner_approaches_one(self):
+        values = np.zeros(100)
+        values[0] = 1000
+        assert gini_coefficient(values) > 0.95
+
+    def test_known_value(self):
+        # Two values {0, 1}: G = 0.5.
+        assert gini_coefficient(np.asarray([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_zero_total(self):
+        assert gini_coefficient(np.zeros(4)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            gini_coefficient(np.asarray([-1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            gini_coefficient(np.asarray([]))
+
+
+class TestPowerlawAlpha:
+    def test_recovers_planted_exponent(self):
+        """Sampling from a discrete power law recovers alpha.
+
+        The MLE's 0.5 continuity correction is accurate for
+        ``x_min >= ~5`` (Clauset et al.), so the fit uses a raised
+        cutoff.
+        """
+        rng = np.random.default_rng(0)
+        alpha_true = 2.5
+        u = rng.random(200_000)
+        degrees = np.floor((1 - u) ** (-1 / (alpha_true - 1))).astype(np.int64)
+        estimated = powerlaw_alpha(degrees, x_min=10)
+        assert estimated == pytest.approx(alpha_true, rel=0.1)
+
+    def test_all_at_x_min_gives_known_constant(self):
+        # ln(1 / 0.5) = ln 2 per sample -> alpha = 1 + 1/ln 2.
+        assert powerlaw_alpha(np.asarray([1, 1, 1])) == pytest.approx(
+            1 + 1 / math.log(2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            powerlaw_alpha(np.asarray([1, 2]), x_min=0)
+        with pytest.raises(ValidationError):
+            powerlaw_alpha(np.asarray([1, 2]), x_min=10)
+
+
+class TestDegreeStatistics:
+    def test_scale_free_vs_mesh(self):
+        scale_free = degree_statistics(load_graph("test-social"))
+        mesh = degree_statistics(load_graph("test-mesh"))
+        assert scale_free.gini > mesh.gini
+        assert scale_free.max_degree > mesh.max_degree
+
+    def test_fields_consistent(self):
+        stats = degree_statistics(load_graph("test-mesh"))
+        assert stats.min_degree <= stats.median_degree <= stats.p90_degree
+        assert stats.p90_degree <= stats.max_degree
+        assert stats.n_nodes == 576
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.graph import Graph
+        from repro.sparse.convert import coo_to_csr
+        from repro.sparse.coo import COOMatrix
+
+        with pytest.raises(ValidationError):
+            degree_statistics(Graph(coo_to_csr(COOMatrix(0, 0, [], []))))

@@ -1,0 +1,76 @@
+"""Insularity and insular-node metrics (paper Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.community.assignment import CommunityAssignment
+from repro.errors import ShapeError
+from repro.metrics.insularity import (
+    insular_mask,
+    insular_node_fraction,
+    insularity,
+)
+
+
+class TestInsularity:
+    def test_figure1_value(self, figure1_graph, figure1_assignment):
+        """The paper's worked example: insularity = 20/24 ≈ 0.83."""
+        value = insularity(figure1_graph, figure1_assignment)
+        assert value == pytest.approx(20 / 24)
+
+    def test_single_community_is_one(self, two_triangles):
+        assignment = CommunityAssignment(np.zeros(6, dtype=np.int64))
+        assert insularity(two_triangles, assignment) == pytest.approx(1.0)
+
+    def test_singletons_are_zero(self, two_triangles):
+        assignment = CommunityAssignment(np.arange(6))
+        assert insularity(two_triangles, assignment) == pytest.approx(0.0)
+
+    def test_range_bounds(self, figure1_graph):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            assignment = CommunityAssignment(rng.integers(0, 4, 9))
+            value = insularity(figure1_graph, assignment)
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_graph_is_one(self):
+        from repro.graphs.graph import Graph
+        from repro.sparse.convert import coo_to_csr
+        from repro.sparse.coo import COOMatrix
+
+        graph = Graph(coo_to_csr(COOMatrix(3, 3, [], [])))
+        assert insularity(graph, CommunityAssignment([0, 1, 2])) == 1.0
+
+    def test_label_shape_validated(self, two_triangles):
+        with pytest.raises(ShapeError):
+            insularity(two_triangles, CommunityAssignment([0, 1]))
+
+
+class TestInsularMask:
+    def test_figure1_insular_nodes(self, figure1_graph, figure1_assignment):
+        mask = insular_mask(figure1_graph, figure1_assignment)
+        # Boundary nodes 3, 4, 6, 7 have inter-community edges.
+        expected = np.asarray(
+            [True, True, True, False, False, True, False, False, True]
+        )
+        assert np.array_equal(mask, expected)
+
+    def test_fraction_matches_mask(self, figure1_graph, figure1_assignment):
+        mask = insular_mask(figure1_graph, figure1_assignment)
+        assert insular_node_fraction(
+            figure1_graph, figure1_assignment
+        ) == pytest.approx(mask.mean())
+
+    def test_single_community_all_insular(self, two_triangles):
+        assignment = CommunityAssignment(np.zeros(6, dtype=np.int64))
+        assert insular_mask(two_triangles, assignment).all()
+
+    def test_isolated_node_is_insular(self):
+        from repro.graphs.graph import Graph
+        from repro.sparse.convert import coo_to_csr
+        from repro.sparse.coo import COOMatrix
+
+        graph = Graph(coo_to_csr(COOMatrix(3, 3, [0, 1], [1, 0])))
+        mask = insular_mask(graph, CommunityAssignment([0, 1, 2]))
+        assert mask[2]  # no edges at all -> trivially insular
+        assert not mask[0] and not mask[1]

@@ -1,0 +1,125 @@
+"""Skew, community statistics, correlation and locality estimators."""
+
+import numpy as np
+import pytest
+
+from repro.community.assignment import CommunityAssignment
+from repro.errors import ShapeError, ValidationError
+from repro.graphs.graph import Graph
+from repro.metrics.community_stats import community_size_stats
+from repro.metrics.correlation import pearson
+from repro.metrics.locality import (
+    average_neighbor_span,
+    hub_cache_footprint_bytes,
+    matrix_bandwidth,
+    matrix_profile,
+    working_set_lines,
+)
+from repro.metrics.skew import degree_skew
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+
+
+class TestSkew:
+    def test_star_graph_is_maximally_skewed(self, star_graph):
+        # Top 10% of 8 nodes = 1 node = the hub, owning all entries... the
+        # hub holds half the undirected entries (7 of 14).
+        assert degree_skew(star_graph) == pytest.approx(0.5)
+
+    def test_regular_graph_skew_matches_uniform_share(self, path_graph):
+        value = degree_skew(path_graph)
+        assert value == pytest.approx(2 / 14, abs=0.05)
+
+    def test_fraction_validated(self, star_graph):
+        with pytest.raises(ValidationError):
+            degree_skew(star_graph, top_fraction=0.0)
+        with pytest.raises(ValidationError):
+            degree_skew(star_graph, top_fraction=1.5)
+
+    def test_empty_graph(self):
+        graph = Graph(coo_to_csr(COOMatrix(4, 4, [], [])))
+        assert degree_skew(graph) == 0.0
+
+
+class TestCommunityStats:
+    def test_basic(self):
+        stats = community_size_stats(CommunityAssignment([0, 0, 0, 1, 1, 2]))
+        assert stats.n_communities == 3
+        assert stats.average_size == pytest.approx(2.0)
+        assert stats.largest_size == 3
+        assert stats.normalized_average_size == pytest.approx(2 / 6)
+        assert stats.largest_fraction == pytest.approx(0.5)
+
+    def test_empty(self):
+        stats = community_size_stats(CommunityAssignment(np.empty(0, dtype=np.int64)))
+        assert stats.n_communities == 0
+        assert stats.largest_fraction == 0.0
+
+    def test_giant_community_detector(self):
+        labels = np.zeros(100, dtype=np.int64)
+        labels[:2] = 1
+        stats = community_size_stats(CommunityAssignment(labels))
+        assert stats.largest_fraction > 0.9
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_scipy_agreement(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(50)
+        y = 0.5 * x + rng.standard_normal(50)
+        assert pearson(x, y) == pytest.approx(scipy_stats.pearsonr(x, y)[0])
+
+    def test_constant_input_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValidationError):
+            pearson([1], [2])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            pearson([1, 2], [1, 2, 3])
+
+
+class TestLocalityEstimators:
+    def test_hub_footprint_scattered_vs_grouped(self):
+        # 8 hubs scattered every 64 elements: one 32 B line each.
+        scattered = hub_cache_footprint_bytes(np.arange(8) * 64)
+        grouped = hub_cache_footprint_bytes(np.arange(8))
+        assert scattered == 8 * 32
+        assert grouped == 32  # 8 * 4 B elements fit in one line
+
+    def test_hub_footprint_validation(self):
+        with pytest.raises(ValidationError):
+            hub_cache_footprint_bytes(np.asarray([0]), element_bytes=0)
+
+    def test_footprint_empty(self):
+        assert hub_cache_footprint_bytes(np.asarray([], dtype=np.int64)) == 0
+
+    def test_bandwidth_of_tridiagonal(self):
+        coo = COOMatrix(4, 4, [0, 1, 1, 2, 2, 3], [1, 0, 2, 1, 3, 2])
+        assert matrix_bandwidth(coo_to_csr(coo)) == 1
+
+    def test_bandwidth_empty(self):
+        assert matrix_bandwidth(coo_to_csr(COOMatrix(3, 3, [], []))) == 0
+
+    def test_profile(self):
+        # Row 2 reaches back to column 0: profile contribution 2.
+        coo = COOMatrix(3, 3, [2], [0])
+        assert matrix_profile(coo_to_csr(coo)) == 2
+
+    def test_average_neighbor_span(self):
+        coo = COOMatrix(2, 8, [0, 0, 1], [0, 7, 3])
+        assert average_neighbor_span(coo_to_csr(coo)) == pytest.approx(3.5)
+
+    def test_working_set_lines(self):
+        assert working_set_lines(np.asarray([0, 1, 7])) == 1  # one 32 B line
+        assert working_set_lines(np.asarray([0, 8])) == 2

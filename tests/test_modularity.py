@@ -1,0 +1,81 @@
+"""Modularity definition tests, cross-checked against known values."""
+
+import numpy as np
+import pytest
+
+from repro.community.assignment import CommunityAssignment
+from repro.community.modularity import modularity, modularity_gain
+from repro.errors import ShapeError
+
+
+class TestKnownValues:
+    def test_single_community_is_zero(self, two_triangles):
+        q = modularity(two_triangles, CommunityAssignment(np.zeros(6, dtype=np.int64)))
+        assert q == pytest.approx(0.0, abs=1e-12)
+
+    def test_two_triangles_natural_split(self, two_triangles):
+        # Classic value: 2 * (3/7 - (7/14)^2) = 0.357142...
+        q = modularity(two_triangles, CommunityAssignment([0, 0, 0, 1, 1, 1]))
+        assert q == pytest.approx(2 * (3 / 7 - 0.25), abs=1e-12)
+
+    def test_singletons_are_negative(self, two_triangles):
+        q = modularity(two_triangles, CommunityAssignment(np.arange(6)))
+        assert q < 0
+
+    def test_figure1_partition_is_strong(self, figure1_graph, figure1_assignment):
+        q = modularity(figure1_graph, figure1_assignment)
+        assert 0.4 < q < 0.7
+
+    def test_bad_partition_scores_lower(self, figure1_graph, figure1_assignment):
+        rng = np.random.default_rng(1)
+        random_assignment = CommunityAssignment(rng.integers(0, 3, 9))
+        assert modularity(figure1_graph, random_assignment) < modularity(
+            figure1_graph, figure1_assignment
+        )
+
+    def test_bounded_above_by_one(self, path_graph):
+        q = modularity(path_graph, CommunityAssignment([0, 0, 1, 1, 2, 2, 3, 3]))
+        assert q <= 1.0
+
+
+class TestValidation:
+    def test_label_shape_checked(self, path_graph):
+        from repro.community.modularity import modularity_csr
+
+        with pytest.raises(ShapeError):
+            modularity_csr(path_graph.adjacency, np.zeros(3, dtype=np.int64))
+
+
+class TestGainFormula:
+    def test_gain_matches_direct_difference(self, two_triangles):
+        """ΔQ formula must equal Q(after) - Q(before) for an isolated
+        node joining a community."""
+        adjacency = two_triangles.to_undirected().adjacency
+        from repro.community.modularity import modularity_csr
+
+        # Node 2 isolated; join community {0, 1}.
+        before = np.asarray([0, 0, 2, 1, 1, 1])
+        after = np.asarray([0, 0, 0, 1, 1, 1])
+        direct = modularity_csr(adjacency, after) - modularity_csr(adjacency, before)
+
+        total_weight = float(adjacency.values.sum())
+        # Weighted degrees (the symmetrized view carries weight 2 per entry).
+        row_of_entry = np.repeat(
+            np.arange(adjacency.n_rows), np.diff(adjacency.row_offsets)
+        )
+        degrees = np.zeros(adjacency.n_rows)
+        np.add.at(degrees, row_of_entry, adjacency.values)
+        in_row_2 = row_of_entry == 2
+        to_community = np.isin(adjacency.col_indices, [0, 1]) & in_row_2
+        weight_to = float(adjacency.values[to_community].sum())
+        community_degree = degrees[0] + degrees[1]
+        gain = modularity_gain(weight_to, degrees[2], community_degree, total_weight)
+        assert gain == pytest.approx(direct, abs=1e-12)
+
+    def test_gain_negative_for_unrelated_community(self, two_triangles):
+        adjacency = two_triangles.to_undirected().adjacency
+        degrees = adjacency.row_degrees().astype(float)
+        total_weight = float(adjacency.values.sum())
+        # Node 0 has no edges into {3, 4, 5}: pure penalty term.
+        gain = modularity_gain(0.0, degrees[0], degrees[3] + degrees[4] + degrees[5], total_weight)
+        assert gain < 0

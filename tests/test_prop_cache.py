@@ -1,0 +1,83 @@
+"""Property-based tests for the cache simulators (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.belady import next_use_index, simulate_belady
+from repro.cache.config import CacheConfig
+from repro.cache.lru import compulsory_misses, simulate_lru
+
+traces = st.lists(st.integers(0, 30), min_size=0, max_size=300).map(
+    lambda xs: np.asarray(xs, dtype=np.int64)
+)
+
+configs = st.sampled_from(
+    [
+        CacheConfig(capacity_bytes=64, line_bytes=32, ways=1),
+        CacheConfig(capacity_bytes=128, line_bytes=32, ways=2),
+        CacheConfig(capacity_bytes=256, line_bytes=32, ways=4),
+        CacheConfig(capacity_bytes=512, line_bytes=32, ways=4),
+        CacheConfig(capacity_bytes=1024, line_bytes=32, ways=32),
+    ]
+)
+
+
+class TestSimulatorInvariants:
+    @given(traces, configs)
+    @settings(max_examples=80, deadline=None)
+    def test_lru_accounting(self, trace, config):
+        stats = simulate_lru(trace, config)
+        stats.check_consistency()
+        assert stats.misses >= compulsory_misses(trace)
+        assert stats.dead_lines <= stats.misses
+
+    @given(traces, configs)
+    @settings(max_examples=80, deadline=None)
+    def test_belady_accounting(self, trace, config):
+        stats = simulate_belady(trace, config)
+        stats.check_consistency()
+        assert stats.misses >= compulsory_misses(trace)
+
+    @given(traces, configs)
+    @settings(max_examples=80, deadline=None)
+    def test_belady_never_worse_than_lru(self, trace, config):
+        """The defining property of the optimal policy."""
+        opt = simulate_belady(trace, config)
+        lru = simulate_lru(trace, config)
+        assert opt.misses <= lru.misses
+
+    @given(traces)
+    @settings(max_examples=80, deadline=None)
+    def test_lru_capacity_monotonicity(self, trace):
+        """Fully-associative LRU has the stack (inclusion) property:
+        more capacity can never add misses."""
+        small = simulate_lru(trace, CacheConfig(capacity_bytes=128, line_bytes=32, ways=4))
+        large = simulate_lru(trace, CacheConfig(capacity_bytes=256, line_bytes=32, ways=8))
+        assert large.misses <= small.misses
+
+    @given(traces)
+    @settings(max_examples=80, deadline=None)
+    def test_next_use_is_future_position_of_same_line(self, trace):
+        next_use = next_use_index(trace)
+        n = trace.size
+        for i in range(n):
+            j = next_use[i]
+            if j < n:
+                assert j > i
+                assert trace[j] == trace[i]
+                # No intermediate occurrence of the same line.
+                assert not np.any(trace[i + 1: j] == trace[i])
+            else:
+                assert not np.any(trace[i + 1:] == trace[i])
+
+    @given(traces, configs)
+    @settings(max_examples=60, deadline=None)
+    def test_repeating_trace_second_pass_bounded(self, trace, config):
+        """On a doubled trace, misses cannot exceed twice the single-pass
+        misses (each pass is at worst the cold run)."""
+        if trace.size == 0:
+            return
+        doubled = np.concatenate([trace, trace])
+        once = simulate_lru(trace, config)
+        twice = simulate_lru(doubled, config)
+        assert twice.misses <= 2 * once.misses

@@ -1,0 +1,104 @@
+"""Property-based tests for community detection and metrics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.community.assignment import CommunityAssignment
+from repro.community.modularity import modularity
+from repro.community.rabbit import rabbit_communities
+from repro.graphs.graph import Graph
+from repro.metrics.insularity import insular_mask, insularity
+from repro.metrics.skew import degree_skew
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.permute import check_permutation
+
+
+@st.composite
+def random_graphs(draw, max_n=24, max_edges=60):
+    n = draw(st.integers(2, max_n))
+    n_edges = draw(st.integers(0, max_edges))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, n_edges)
+    v = rng.integers(0, n, n_edges)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    coo = COOMatrix(n, n, np.concatenate([u, v]), np.concatenate([v, u]))
+    from repro.sparse.ops import merge_duplicates
+
+    return Graph(coo_to_csr(merge_duplicates(coo)))
+
+
+@st.composite
+def assignments_for(draw, n):
+    k = draw(st.integers(1, n))
+    labels = draw(st.lists(st.integers(0, k - 1), min_size=n, max_size=n))
+    return CommunityAssignment(labels)
+
+
+class TestMetricBounds:
+    @given(st.data(), random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_insularity_in_unit_interval(self, data, graph):
+        assignment = data.draw(assignments_for(graph.n_nodes))
+        assert 0.0 <= insularity(graph, assignment) <= 1.0
+
+    @given(st.data(), random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_modularity_bounds(self, data, graph):
+        assignment = data.draw(assignments_for(graph.n_nodes))
+        q = modularity(graph, assignment)
+        assert -1.0 <= q <= 1.0
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_single_community_extremes(self, graph):
+        whole = CommunityAssignment(np.zeros(graph.n_nodes, dtype=np.int64))
+        assert insularity(graph, whole) == 1.0
+        assert insular_mask(graph, whole).all()
+        assert abs(modularity(graph, whole)) < 1e-9
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_skew_in_unit_interval(self, graph):
+        assert 0.0 <= degree_skew(graph) <= 1.0
+
+    @given(st.data(), random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_insular_nodes_have_no_crossing_edges(self, data, graph):
+        assignment = data.draw(assignments_for(graph.n_nodes))
+        mask = insular_mask(graph, assignment)
+        undirected = graph.to_undirected()
+        labels = assignment.labels
+        for node in np.flatnonzero(mask):
+            neighbors = undirected.neighbors(int(node))
+            assert np.all(labels[neighbors] == labels[node])
+
+
+class TestRabbitProperties:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_ordering_is_valid_permutation(self, graph):
+        result = rabbit_communities(graph)
+        check_permutation(result.dendrogram.ordering(), graph.n_nodes)
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_merges_never_decrease_modularity_below_singletons(self, graph):
+        """Rabbit only accepts positive-gain merges, so the final
+        partition cannot be worse than all-singletons."""
+        result = rabbit_communities(graph)
+        singletons = CommunityAssignment(np.arange(graph.n_nodes))
+        assert modularity(graph, result.assignment) >= modularity(
+            graph, singletons
+        ) - 1e-9
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_communities_contiguous_in_ordering(self, graph):
+        result = rabbit_communities(graph)
+        labels = result.assignment.labels
+        order = result.dendrogram.dfs_leaf_order()
+        changes = int(np.sum(labels[order][1:] != labels[order][:-1]))
+        assert changes == result.assignment.n_communities - 1

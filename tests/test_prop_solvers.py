@@ -1,0 +1,65 @@
+"""Property-based tests for the solvers layer."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.solvers import conjugate_gradient, graph_laplacian, pagerank
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels import spmv_csr
+
+
+@st.composite
+def small_graphs(draw, max_n=20, max_edges=50):
+    n = draw(st.integers(2, max_n))
+    n_edges = draw(st.integers(1, max_edges))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, n_edges)
+    v = rng.integers(0, n, n_edges)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    coo = COOMatrix(n, n, np.concatenate([u, v]), np.concatenate([v, u]))
+    from repro.sparse.ops import merge_duplicates
+
+    return Graph(coo_to_csr(merge_duplicates(coo)))
+
+
+class TestCgProperties:
+    @given(small_graphs(), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_cg_solves_shifted_laplacian(self, graph, rhs_seed):
+        matrix = graph_laplacian(graph, shift=1.0)
+        rng = np.random.default_rng(rhs_seed)
+        b = rng.standard_normal(matrix.n_rows)
+        result = conjugate_gradient(matrix, b, tolerance=1e-10, max_iterations=500)
+        assert result.converged
+        assert np.allclose(spmv_csr(matrix, result.x), b, atol=1e-5)
+
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_laplacian_row_sums(self, graph):
+        laplacian = graph_laplacian(graph, shift=0.0)
+        ones = np.ones(laplacian.n_rows)
+        assert np.allclose(spmv_csr(laplacian, ones), 0.0, atol=1e-9)
+
+
+class TestPageRankProperties:
+    @given(small_graphs(), st.floats(0.5, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_scores_are_a_distribution(self, graph, damping):
+        result = pagerank(graph, damping=damping, max_iterations=500)
+        assert result.scores.sum() == np.float64(1.0) or np.isclose(
+            result.scores.sum(), 1.0
+        )
+        assert np.all(result.scores >= 0)
+
+    @given(small_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_teleport_lower_bound(self, graph):
+        """Every node receives at least the teleport mass (1-d)/n."""
+        damping = 0.85
+        result = pagerank(graph, damping=damping, max_iterations=500)
+        floor = (1.0 - damping) / graph.n_nodes
+        assert np.all(result.scores >= floor - 1e-12)

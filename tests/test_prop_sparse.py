@@ -1,0 +1,134 @@
+"""Property-based tests for the sparse substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels import spmv_coo, spmv_csr
+from repro.sparse.ops import (
+    drop_self_loops,
+    is_symmetric,
+    merge_duplicates,
+    symmetrize,
+    transpose,
+)
+from repro.sparse.permute import invert_permutation, permute_symmetric
+
+
+@st.composite
+def coo_matrices(draw, max_n=12, max_nnz=40, square=True):
+    n_rows = draw(st.integers(1, max_n))
+    n_cols = n_rows if square else draw(st.integers(1, max_n))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    values = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix(n_rows, n_cols, rows, cols, values)
+
+
+@st.composite
+def permutations(draw, n):
+    seed = draw(st.integers(0, 2**32 - 1))
+    return np.random.default_rng(seed).permutation(n)
+
+
+class TestConversionProperties:
+    @given(coo_matrices(square=False))
+    @settings(max_examples=60, deadline=None)
+    def test_coo_csr_preserves_dense(self, coo):
+        assert np.allclose(coo_to_csr(coo).to_dense(), coo.to_dense())
+
+    @given(coo_matrices(square=False))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_equality(self, coo):
+        assert csr_to_coo(coo_to_csr(coo)) == coo
+
+
+class TestOpsProperties:
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetrize_is_symmetric(self, coo):
+        assert is_symmetric(symmetrize(coo))
+
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetrize_idempotent_structure(self, coo):
+        once = symmetrize(coo)
+        twice = symmetrize(once)
+        # A + A^T applied twice doubles values but keeps the pattern.
+        assert once.nnz == twice.nnz
+        assert np.allclose(twice.to_dense(), 2 * once.to_dense())
+
+    @given(coo_matrices(square=False))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_duplicates_preserves_sum(self, coo):
+        assert merge_duplicates(coo).values.sum() == np.float64(
+            coo.values.sum()
+        ).item() or np.isclose(merge_duplicates(coo).values.sum(), coo.values.sum())
+
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_drop_self_loops_leaves_off_diagonal(self, coo):
+        cleaned = drop_self_loops(coo)
+        off_diagonal = coo.rows != coo.cols
+        assert cleaned.nnz == int(off_diagonal.sum())
+
+    @given(coo_matrices(square=False))
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, coo):
+        assert transpose(transpose(coo)) == coo
+
+
+class TestPermutationProperties:
+    @given(st.data(), coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_permute_preserves_spectrum_of_dense(self, data, coo):
+        """Symmetric permutation is a similarity transform: the dense
+        matrices must be equal up to simultaneous row/col reordering."""
+        csr = coo_to_csr(coo)
+        perm = data.draw(permutations(coo.n_rows))
+        permuted = permute_symmetric(csr, perm)
+        dense = csr.to_dense()
+        expected = np.empty_like(dense)
+        expected[np.ix_(perm, perm)] = dense
+        assert np.allclose(permuted.to_dense(), expected)
+
+    @given(st.data(), coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_permute_then_inverse_is_identity(self, data, coo):
+        csr = coo_to_csr(coo)
+        perm = data.draw(permutations(coo.n_rows))
+        back = permute_symmetric(permute_symmetric(csr, perm), invert_permutation(perm))
+        assert back == csr.sort_rows()
+
+    @given(st.data(), coo_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_spmv_equivariance(self, data, coo):
+        csr = coo_to_csr(coo)
+        perm = data.draw(permutations(coo.n_rows))
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(coo.n_cols)
+        y = spmv_csr(csr, x)
+        x_new = np.empty_like(x)
+        x_new[perm] = x
+        y_new = spmv_csr(permute_symmetric(csr, perm), x_new)
+        assert np.allclose(y_new[perm], y)
+
+
+class TestKernelAgreement:
+    @given(coo_matrices(square=False))
+    @settings(max_examples=60, deadline=None)
+    def test_coo_and_csr_spmv_agree(self, coo):
+        x = np.arange(coo.n_cols, dtype=np.float64)
+        assert np.allclose(spmv_coo(coo, x), spmv_csr(coo_to_csr(coo), x))

@@ -1,0 +1,91 @@
+"""RCM and SlashBurn orderings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.corpus import load_graph
+from repro.graphs.generators import grid_2d, star_burst
+from repro.graphs.graph import Graph
+from repro.metrics.locality import matrix_bandwidth
+from repro.reorder.rcm import ReverseCuthillMcKee
+from repro.reorder.slashburn import SlashBurn
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.permute import check_permutation, permute_symmetric
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+scipy_csgraph = pytest.importorskip("scipy.sparse.csgraph")
+
+
+class TestRCM:
+    def test_path_graph_bandwidth_one(self, path_graph):
+        perm = ReverseCuthillMcKee().compute(path_graph)
+        reordered = permute_symmetric(path_graph.adjacency, perm)
+        assert matrix_bandwidth(reordered) == 1
+
+    def test_reduces_bandwidth_of_scrambled_mesh(self):
+        graph = load_graph("test-mesh")  # scrambled 24x24 grid
+        perm = ReverseCuthillMcKee().compute(graph)
+        before = matrix_bandwidth(graph.adjacency)
+        after = matrix_bandwidth(permute_symmetric(graph.adjacency, perm))
+        assert after < before / 2
+
+    def test_comparable_to_scipy_rcm(self):
+        graph = load_graph("test-mesh")
+        ours = ReverseCuthillMcKee().compute(graph)
+        our_bw = matrix_bandwidth(permute_symmetric(graph.adjacency, ours))
+
+        adjacency = graph.adjacency
+        scipy_matrix = scipy_sparse.csr_matrix(
+            (
+                np.ones(adjacency.nnz),
+                adjacency.col_indices,
+                adjacency.row_offsets,
+            ),
+            shape=adjacency.shape,
+        )
+        scipy_visit = scipy_csgraph.reverse_cuthill_mckee(scipy_matrix, symmetric_mode=True)
+        scipy_perm = np.empty(graph.n_nodes, dtype=np.int64)
+        scipy_perm[scipy_visit] = np.arange(graph.n_nodes)
+        scipy_bw = matrix_bandwidth(permute_symmetric(graph.adjacency, scipy_perm))
+        assert our_bw <= 1.5 * scipy_bw
+
+    def test_disconnected_components_handled(self):
+        coo = COOMatrix(6, 6, [0, 1, 3, 4], [1, 0, 4, 3])
+        graph = Graph(coo_to_csr(coo))
+        check_permutation(ReverseCuthillMcKee().compute(graph), 6)
+
+    def test_empty_graph(self):
+        graph = Graph(coo_to_csr(COOMatrix(0, 0, [], [])))
+        assert ReverseCuthillMcKee().compute(graph).size == 0
+
+
+class TestSlashBurn:
+    def test_valid_permutation(self):
+        graph = load_graph("test-social")
+        check_permutation(SlashBurn().compute(graph), graph.n_nodes)
+
+    def test_hubs_get_lowest_ids(self):
+        coo = star_burst(200, 2, leaf_links=1, seed=1)
+        graph = Graph(coo_to_csr(coo))
+        perm = SlashBurn(k_fraction=0.01).compute(graph)
+        degrees = graph.to_undirected().out_degrees()
+        top_hub = int(np.argmax(degrees))
+        assert perm[top_hub] < 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            SlashBurn(k_fraction=0.0)
+        with pytest.raises(ValidationError):
+            SlashBurn(k_fraction=1.5)
+        with pytest.raises(ValidationError):
+            SlashBurn(max_rounds=0)
+
+    def test_mesh_graph_terminates(self):
+        graph = Graph(coo_to_csr(grid_2d(12, 12)))
+        check_permutation(SlashBurn().compute(graph), 144)
+
+    def test_deterministic(self):
+        graph = load_graph("test-social")
+        assert np.array_equal(SlashBurn().compute(graph), SlashBurn().compute(graph))

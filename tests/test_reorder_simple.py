@@ -1,0 +1,79 @@
+"""ORIGINAL/RANDOM baselines and the technique interface contract."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.corpus import load_graph
+from repro.reorder import (
+    OriginalOrder,
+    RandomOrder,
+    available_techniques,
+    make_technique,
+    reorder_with_timing,
+)
+from repro.reorder.base import stable_order_to_permutation
+from repro.sparse.permute import check_permutation
+
+
+class TestOriginal:
+    def test_identity(self, path_graph):
+        perm = OriginalOrder().compute(path_graph)
+        assert np.array_equal(perm, np.arange(8))
+
+
+class TestRandom:
+    def test_is_permutation(self, path_graph):
+        check_permutation(RandomOrder(seed=3).compute(path_graph), 8)
+
+    def test_seed_determinism(self, path_graph):
+        a = RandomOrder(seed=5).compute(path_graph)
+        b = RandomOrder(seed=5).compute(path_graph)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self, path_graph):
+        a = RandomOrder(seed=1).compute(path_graph)
+        b = RandomOrder(seed=2).compute(path_graph)
+        assert not np.array_equal(a, b)
+
+
+class TestRegistryContract:
+    def test_every_technique_yields_valid_permutation(self):
+        graph = load_graph("test-mesh")
+        for name in available_techniques():
+            perm = make_technique(name).compute(graph)
+            check_permutation(perm, graph.n_nodes)
+
+    def test_every_technique_handles_directed_input(self):
+        graph = load_graph("test-rmat")
+        for name in available_techniques():
+            perm = make_technique(name).compute(graph)
+            check_permutation(perm, graph.n_nodes)
+
+    def test_unknown_name_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            make_technique("quantum-sort")
+
+    def test_paper_techniques_registered(self):
+        from repro.reorder import PAPER_TECHNIQUES
+
+        for name in PAPER_TECHNIQUES:
+            make_technique(name)
+
+    def test_timing_wrapper(self, path_graph):
+        timed = reorder_with_timing(OriginalOrder(), path_graph)
+        assert timed.technique == "original"
+        assert timed.seconds >= 0.0
+        check_permutation(timed.permutation, 8)
+
+
+class TestStableOrderHelper:
+    def test_roundtrip(self):
+        visit = np.asarray([2, 0, 3, 1])
+        perm = stable_order_to_permutation(visit)
+        # Node visited first gets ID 0.
+        assert perm[2] == 0
+        assert perm[0] == 1
+        assert perm[3] == 2
+        assert perm[1] == 3

@@ -1,0 +1,92 @@
+"""BFS/DFS traversal orders and recursive bisection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.corpus import load_graph
+from repro.metrics.locality import average_neighbor_span
+from repro.reorder.bisection import RecursiveBisection
+from repro.reorder.traversal import BFSOrder, DFSOrder
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.permute import check_permutation, permute_symmetric
+from repro.graphs.graph import Graph
+
+
+class TestBFSOrder:
+    def test_valid_permutation(self):
+        graph = load_graph("test-mesh")
+        check_permutation(BFSOrder().compute(graph), graph.n_nodes)
+
+    def test_path_graph_becomes_sequential(self, path_graph):
+        perm = BFSOrder().compute(path_graph)
+        # On a path, BFS from an endpoint yields the natural order.
+        assert np.array_equal(perm, np.arange(8)) or np.array_equal(
+            perm, np.arange(8)[::-1]
+        )
+
+    def test_improves_scrambled_mesh(self):
+        graph = load_graph("test-mesh")
+        perm = BFSOrder().compute(graph)
+        before = average_neighbor_span(graph.adjacency)
+        after = average_neighbor_span(permute_symmetric(graph.adjacency, perm))
+        assert after < before / 2
+
+    def test_disconnected_components(self):
+        coo = COOMatrix(6, 6, [0, 1, 3, 4], [1, 0, 4, 3])
+        graph = Graph(coo_to_csr(coo))
+        check_permutation(BFSOrder().compute(graph), 6)
+
+
+class TestDFSOrder:
+    def test_valid_permutation(self):
+        graph = load_graph("test-kmer")
+        check_permutation(DFSOrder().compute(graph), graph.n_nodes)
+
+    def test_chains_become_contiguous(self):
+        graph = load_graph("test-kmer")  # chain-structured
+        perm = DFSOrder().compute(graph)
+        reordered = permute_symmetric(graph.adjacency, perm)
+        assert average_neighbor_span(reordered) < 20
+
+    def test_differs_from_bfs_on_trees(self):
+        # Star with subdivided arms: BFS goes level by level,
+        # DFS arm by arm.
+        edges = [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]
+        coo = COOMatrix(
+            7, 7,
+            [u for u, _ in edges] + [v for _, v in edges],
+            [v for _, v in edges] + [u for u, _ in edges],
+        )
+        graph = Graph(coo_to_csr(coo))
+        assert not np.array_equal(BFSOrder().compute(graph), DFSOrder().compute(graph))
+
+
+class TestRecursiveBisection:
+    def test_valid_permutation(self):
+        graph = load_graph("test-comm")
+        check_permutation(RecursiveBisection().compute(graph), graph.n_nodes)
+
+    def test_leaf_size_validated(self):
+        with pytest.raises(ValidationError):
+            RecursiveBisection(leaf_size=0)
+
+    def test_improves_scrambled_community_matrix(self):
+        graph = load_graph("test-comm")
+        perm = RecursiveBisection(leaf_size=32).compute(graph)
+        before = average_neighbor_span(graph.adjacency)
+        after = average_neighbor_span(permute_symmetric(graph.adjacency, perm))
+        assert after < before
+
+    def test_small_block_is_identity_like(self):
+        graph = load_graph("test-kmer")
+        perm = RecursiveBisection(leaf_size=10_000).compute(graph)
+        assert np.array_equal(perm, np.arange(graph.n_nodes))
+
+    def test_registered(self):
+        from repro.reorder.registry import make_technique
+
+        for name in ("bfs", "dfs", "bisection"):
+            technique = make_technique(name)
+            assert technique.name == name

@@ -1,0 +1,69 @@
+"""ASCII bar-chart rendering for figure-style reports."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.report import ExperimentReport, render_bars
+
+
+class TestRenderBars:
+    def test_proportional_lengths(self):
+        text = render_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_baseline_subtracted(self):
+        text = render_bars(["a", "b"], [1.0, 3.0], width=10, baseline=1.0)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 0  # exactly at the baseline
+        assert lines[1].count("#") == 10
+
+    def test_values_still_printed(self):
+        text = render_bars(["matrix-x"], [1.234])
+        assert "1.234" in text
+        assert "matrix-x" in text
+
+    def test_labels_aligned(self):
+        text = render_bars(["a", "longer"], [1.0, 1.0])
+        lines = text.splitlines()
+        assert lines[0].index("1.000") == lines[1].index("1.000")
+
+    def test_empty(self):
+        assert render_bars([], []) == "(empty)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_bad_width(self):
+        with pytest.raises(ValidationError):
+            render_bars(["a"], [1.0], width=0)
+
+    def test_all_at_baseline(self):
+        text = render_bars(["a", "b"], [1.0, 1.0], baseline=1.0)
+        assert "#" not in text
+
+
+class TestReportToFigure:
+    def test_figure_from_rows(self):
+        report = ExperimentReport(
+            experiment="figX",
+            title="demo",
+            headers=["matrix", "value"],
+            rows=[["m1", 1.2], ["m2", 2.4]],
+        )
+        figure = report.to_figure(baseline=1.0)
+        assert "figX" in figure
+        assert "m1" in figure and "m2" in figure
+        lines = figure.splitlines()[1:]
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_real_driver_renders(self, tmp_path):
+        from repro.experiments import fig3
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner("test", cache_dir=str(tmp_path))
+        report = fig3.run("test", runner=runner)
+        figure = report.to_figure(value_column=2, baseline=1.0)
+        assert "#" in figure

@@ -1,0 +1,157 @@
+"""Iterative solvers: correctness, convergence, and invariances."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.graphs.corpus import load_graph
+from repro.reorder.registry import make_technique
+from repro.solvers import (
+    conjugate_gradient,
+    graph_laplacian,
+    jacobi,
+    pagerank,
+)
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels import spmv_csr
+from repro.sparse.permute import permute_symmetric
+
+
+@pytest.fixture(scope="module")
+def mesh_system():
+    graph = load_graph("test-mesh")
+    matrix = graph_laplacian(graph, shift=0.5)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(matrix.n_rows)
+    return matrix, b
+
+
+class TestLaplacian:
+    def test_row_sums_equal_shift(self, two_triangles):
+        laplacian = graph_laplacian(two_triangles, shift=0.25)
+        x = np.ones(laplacian.n_rows)
+        assert np.allclose(spmv_csr(laplacian, x), 0.25)
+
+    def test_symmetric(self, two_triangles):
+        laplacian = graph_laplacian(two_triangles, shift=1.0)
+        dense = laplacian.to_dense()
+        assert np.allclose(dense, dense.T)
+
+    def test_positive_definite_with_shift(self, two_triangles):
+        dense = graph_laplacian(two_triangles, shift=0.5).to_dense()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() > 0
+
+
+class TestConjugateGradient:
+    def test_solves_system(self, mesh_system):
+        matrix, b = mesh_system
+        result = conjugate_gradient(matrix, b, tolerance=1e-10)
+        assert result.converged
+        assert np.allclose(spmv_csr(matrix, result.x), b, atol=1e-6)
+
+    def test_residual_history_decreases_overall(self, mesh_system):
+        matrix, b = mesh_system
+        result = conjugate_gradient(matrix, b, tolerance=1e-10)
+        assert result.residual_history[-1] < result.residual_history[0] * 1e-6
+
+    def test_warm_start_converges_faster(self, mesh_system):
+        matrix, b = mesh_system
+        cold = conjugate_gradient(matrix, b, tolerance=1e-10)
+        warm = conjugate_gradient(matrix, b, tolerance=1e-10, x0=cold.x)
+        assert warm.iterations <= 2
+
+    def test_solution_invariant_under_reordering(self, mesh_system):
+        """Solving the permuted system gives the permuted solution —
+        reordering is transparent to the solver."""
+        matrix, b = mesh_system
+        graph = load_graph("test-mesh")
+        perm = make_technique("rabbit").compute(graph)
+        permuted_matrix = permute_symmetric(matrix, perm)
+        b_permuted = np.empty_like(b)
+        b_permuted[perm] = b
+        base = conjugate_gradient(matrix, b, tolerance=1e-10)
+        reordered = conjugate_gradient(permuted_matrix, b_permuted, tolerance=1e-10)
+        assert np.allclose(reordered.x[perm], base.x, atol=1e-6)
+
+    def test_non_spd_detected(self):
+        # Indefinite matrix: CG reports failure instead of looping.
+        matrix = coo_to_csr(
+            COOMatrix(2, 2, [0, 1], [0, 1], [1.0, -1.0])
+        )
+        result = conjugate_gradient(matrix, np.asarray([0.0, 1.0]), max_iterations=10)
+        assert not result.converged
+
+    def test_validation(self, mesh_system):
+        matrix, b = mesh_system
+        with pytest.raises(ValidationError):
+            conjugate_gradient(matrix, b, tolerance=0.0)
+        with pytest.raises(ShapeError):
+            conjugate_gradient(matrix, b[:-1])
+
+
+class TestJacobi:
+    def test_solves_diagonally_dominant(self, mesh_system):
+        matrix, b = mesh_system
+        result = jacobi(matrix, b, tolerance=1e-8, max_iterations=5000)
+        assert result.converged
+        assert np.allclose(spmv_csr(matrix, result.x), b, atol=1e-5)
+
+    def test_cg_converges_faster_than_jacobi(self, mesh_system):
+        matrix, b = mesh_system
+        cg_result = conjugate_gradient(matrix, b, tolerance=1e-8)
+        jacobi_result = jacobi(matrix, b, tolerance=1e-8, max_iterations=5000)
+        assert cg_result.iterations < jacobi_result.iterations
+
+    def test_zero_diagonal_rejected(self):
+        matrix = coo_to_csr(COOMatrix(2, 2, [0], [1], [1.0]))
+        with pytest.raises(ValidationError):
+            jacobi(matrix, np.ones(2))
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        graph = load_graph("test-social")
+        result = pagerank(graph)
+        assert result.converged
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert np.all(result.scores > 0)
+
+    def test_hub_ranks_highest_on_star(self, star_graph):
+        result = pagerank(star_graph)
+        assert int(np.argmax(result.scores)) == 0
+
+    def test_uniform_on_symmetric_ring(self):
+        from repro.graphs.generators import watts_strogatz
+        from repro.graphs.graph import Graph
+
+        ring = Graph(coo_to_csr(watts_strogatz(32, 2, 0.0, seed=1)))
+        result = pagerank(ring)
+        assert np.allclose(result.scores, 1.0 / 32, atol=1e-6)
+
+    def test_scores_invariant_under_reordering(self):
+        graph = load_graph("test-social")
+        perm = make_technique("rabbit++").compute(graph)
+        from repro.graphs.graph import Graph
+
+        permuted = Graph(permute_symmetric(graph.adjacency, perm))
+        base = pagerank(graph)
+        reordered = pagerank(permuted)
+        assert np.allclose(reordered.scores[perm], base.scores, atol=1e-8)
+
+    def test_dangling_nodes_handled(self):
+        # Directed chain with a dangling sink.
+        matrix = coo_to_csr(COOMatrix(3, 3, [0, 1], [1, 2]))
+        from repro.graphs.graph import Graph
+
+        result = pagerank(Graph(matrix, directed=True))
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert result.converged
+
+    def test_validation(self):
+        graph = load_graph("test-social")
+        with pytest.raises(ValidationError):
+            pagerank(graph, damping=1.5)
+        with pytest.raises(ValidationError):
+            pagerank(graph, tolerance=0.0)

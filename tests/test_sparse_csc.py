@@ -1,0 +1,71 @@
+"""CSC format, conversions, and the scatter-style SpMV kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix, coo_to_csc, csc_to_coo, spmv_csc
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.kernels import spmv_csr
+
+
+def sample_coo():
+    return COOMatrix(3, 4, [0, 2, 1, 0], [1, 1, 3, 0], [1.0, 2.0, 3.0, 4.0])
+
+
+class TestConstruction:
+    def test_roundtrip_dense(self):
+        coo = sample_coo()
+        assert np.array_equal(coo_to_csc(coo).to_dense(), coo.to_dense())
+
+    def test_coo_roundtrip(self):
+        coo = sample_coo()
+        assert csc_to_coo(coo_to_csc(coo)) == coo
+
+    def test_col_slices(self):
+        csc = coo_to_csc(sample_coo())
+        assert np.array_equal(csc.col_slice(1), [0, 2])
+        assert np.array_equal(csc.col_values(1), [1.0, 2.0])
+        assert csc.col_slice(2).size == 0
+
+    def test_col_degrees(self):
+        csc = coo_to_csc(sample_coo())
+        assert np.array_equal(csc.col_degrees(), [1, 2, 0, 1])
+
+    def test_offsets_validated(self):
+        with pytest.raises(FormatError):
+            CSCMatrix(2, 2, [1, 1, 2], [0, 1])  # must start at 0
+        with pytest.raises(FormatError):
+            CSCMatrix(2, 2, [0, 2, 1], [0])  # non-monotone / wrong end
+        with pytest.raises(FormatError):
+            CSCMatrix(2, 2, [0, 1, 2], [0, 2])  # row index out of bounds
+
+    def test_shape_validated(self):
+        with pytest.raises(ShapeError):
+            CSCMatrix(2, 2, [0, 2], [0, 1])
+
+    def test_col_slice_bounds(self):
+        csc = coo_to_csc(sample_coo())
+        with pytest.raises(IndexError):
+            csc.col_slice(4)
+
+
+class TestKernel:
+    def test_matches_csr_kernel(self):
+        rng = np.random.default_rng(0)
+        coo = COOMatrix(20, 20, rng.integers(0, 20, 80), rng.integers(0, 20, 80),
+                        rng.standard_normal(80))
+        x = rng.standard_normal(20)
+        assert np.allclose(
+            spmv_csc(coo_to_csc(coo), x), spmv_csr(coo_to_csr(coo), x)
+        )
+
+    def test_shape_mismatch(self):
+        csc = coo_to_csc(sample_coo())
+        with pytest.raises(ShapeError):
+            spmv_csc(csc, np.ones(3))
+
+    def test_empty_matrix(self):
+        csc = coo_to_csc(COOMatrix(3, 3, [], []))
+        assert np.array_equal(spmv_csc(csc, np.ones(3)), np.zeros(3))

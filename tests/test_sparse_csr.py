@@ -1,0 +1,126 @@
+"""Unit tests for the CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse.csr import CSRMatrix
+
+
+def sample_csr() -> CSRMatrix:
+    # 3x4: row0 -> cols {1, 3}; row1 -> {}; row2 -> {0, 2, 3}
+    return CSRMatrix(
+        3, 4,
+        row_offsets=[0, 2, 2, 5],
+        col_indices=[1, 3, 0, 2, 3],
+        values=[1.0, 2.0, 3.0, 4.0, 5.0],
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        csr = sample_csr()
+        assert csr.shape == (3, 4)
+        assert csr.nnz == 5
+        assert not csr.is_square
+
+    def test_default_values(self):
+        csr = CSRMatrix(2, 2, [0, 1, 2], [0, 1])
+        assert np.array_equal(csr.values, [1.0, 1.0])
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [1, 1, 2], [0, 1])
+
+    def test_offsets_must_end_at_nnz(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [0, 1, 3], [0, 1])
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [0, 2, 1], [0])
+
+    def test_offsets_length(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix(2, 2, [0, 2], [0, 1])
+
+    def test_col_out_of_bounds(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, [0, 1, 2], [0, 2])
+
+    def test_values_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix(2, 2, [0, 1, 2], [0, 1], values=[1.0])
+
+    def test_empty(self):
+        csr = CSRMatrix(0, 0, [0], [])
+        assert csr.nnz == 0
+
+
+class TestAccessors:
+    def test_row_degrees(self):
+        assert np.array_equal(sample_csr().row_degrees(), [2, 0, 3])
+
+    def test_col_degrees(self):
+        assert np.array_equal(sample_csr().col_degrees(), [1, 1, 1, 2])
+
+    def test_row_slice(self):
+        csr = sample_csr()
+        assert np.array_equal(csr.row_slice(0), [1, 3])
+        assert csr.row_slice(1).size == 0
+        assert np.array_equal(csr.row_slice(2), [0, 2, 3])
+
+    def test_row_values(self):
+        assert np.array_equal(sample_csr().row_values(2), [3.0, 4.0, 5.0])
+
+    def test_row_slice_out_of_range(self):
+        with pytest.raises(IndexError):
+            sample_csr().row_slice(3)
+        with pytest.raises(IndexError):
+            sample_csr().row_values(-1)
+
+    def test_to_dense(self):
+        dense = sample_csr().to_dense()
+        assert dense.shape == (3, 4)
+        assert dense[0, 1] == 1.0
+        assert dense[2, 3] == 5.0
+        assert dense.sum() == pytest.approx(15.0)
+
+
+class TestSorting:
+    def test_has_sorted_rows_true(self):
+        assert sample_csr().has_sorted_rows()
+
+    def test_has_sorted_rows_false_and_sort(self):
+        csr = CSRMatrix(1, 4, [0, 3], [3, 0, 2], [1.0, 2.0, 3.0])
+        assert not csr.has_sorted_rows()
+        sorted_csr = csr.sort_rows()
+        assert sorted_csr.has_sorted_rows()
+        assert np.array_equal(sorted_csr.col_indices, [0, 2, 3])
+        assert np.array_equal(sorted_csr.values, [2.0, 3.0, 1.0])
+        # Original untouched.
+        assert np.array_equal(csr.col_indices, [3, 0, 2])
+
+    def test_sort_preserves_dense(self):
+        csr = CSRMatrix(2, 3, [0, 2, 3], [2, 0, 1], [1.0, 2.0, 3.0])
+        assert np.array_equal(csr.sort_rows().to_dense(), csr.to_dense())
+
+
+class TestEquality:
+    def test_equality(self):
+        assert sample_csr() == sample_csr()
+
+    def test_inequality(self):
+        other = sample_csr()
+        other.values[0] = 42.0
+        assert sample_csr() != other
+
+    def test_copy_independent(self):
+        csr = sample_csr()
+        clone = csr.copy()
+        clone.col_indices[0] = 0
+        assert csr.col_indices[0] == 1
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(sample_csr())

@@ -1,0 +1,113 @@
+"""Numerical correctness of the reference kernels (vs. dense and scipy)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.coo import COOMatrix
+from repro.sparse.kernels import spmm_csr, spmv_coo, spmv_csr
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+
+def random_coo(n_rows, n_cols, nnz, seed=0):
+    rng = np.random.default_rng(seed)
+    return COOMatrix(
+        n_rows,
+        n_cols,
+        rng.integers(0, n_rows, nnz),
+        rng.integers(0, n_cols, nnz),
+        rng.standard_normal(nnz),
+    )
+
+
+class TestSpmvCsr:
+    def test_against_dense(self):
+        coo = random_coo(6, 6, 14, seed=1)
+        csr = coo_to_csr(coo)
+        x = np.arange(6, dtype=np.float64)
+        assert np.allclose(spmv_csr(csr, x), coo.to_dense() @ x)
+
+    def test_against_scipy(self):
+        coo = random_coo(40, 40, 200, seed=2)
+        csr = coo_to_csr(coo)
+        x = np.random.default_rng(3).standard_normal(40)
+        reference = scipy_sparse.coo_matrix(
+            (coo.values, (coo.rows, coo.cols)), shape=coo.shape
+        ).tocsr() @ x
+        assert np.allclose(spmv_csr(csr, x), reference)
+
+    def test_rectangular(self):
+        coo = random_coo(3, 7, 10, seed=4)
+        x = np.ones(7)
+        assert np.allclose(spmv_csr(coo_to_csr(coo), x), coo.to_dense() @ x)
+
+    def test_empty_rows_give_zero(self):
+        csr = coo_to_csr(COOMatrix(3, 3, [0], [0], [2.0]))
+        y = spmv_csr(csr, np.ones(3))
+        assert y[1] == 0.0 and y[2] == 0.0
+
+    def test_shape_mismatch(self):
+        csr = coo_to_csr(random_coo(3, 4, 5))
+        with pytest.raises(ShapeError):
+            spmv_csr(csr, np.ones(3))
+
+
+class TestSpmvCoo:
+    def test_matches_csr_kernel(self):
+        coo = random_coo(10, 10, 30, seed=5)
+        x = np.random.default_rng(6).standard_normal(10)
+        assert np.allclose(spmv_coo(coo, x), spmv_csr(coo_to_csr(coo), x))
+
+    def test_duplicates_accumulate(self):
+        coo = COOMatrix(2, 2, [0, 0], [1, 1], [2.0, 3.0])
+        assert np.allclose(spmv_coo(coo, np.asarray([0.0, 1.0])), [5.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            spmv_coo(random_coo(3, 4, 5), np.ones(5))
+
+
+class TestSpmmCsr:
+    def test_against_dense(self):
+        coo = random_coo(5, 6, 12, seed=7)
+        dense_b = np.random.default_rng(8).standard_normal((6, 3))
+        out = spmm_csr(coo_to_csr(coo), dense_b)
+        assert np.allclose(out, coo.to_dense() @ dense_b)
+
+    def test_k_equals_one_matches_spmv(self):
+        coo = random_coo(8, 8, 20, seed=9)
+        csr = coo_to_csr(coo)
+        x = np.random.default_rng(10).standard_normal(8)
+        assert np.allclose(spmm_csr(csr, x[:, None])[:, 0], spmv_csr(csr, x))
+
+    def test_shape_mismatch(self):
+        csr = coo_to_csr(random_coo(3, 4, 5))
+        with pytest.raises(ShapeError):
+            spmm_csr(csr, np.ones((3, 2)))
+
+    def test_one_dimensional_b_rejected(self):
+        csr = coo_to_csr(random_coo(3, 4, 5))
+        with pytest.raises(ShapeError):
+            spmm_csr(csr, np.ones(4))
+
+
+class TestPermutationInvariance:
+    def test_spmv_commutes_with_symmetric_permutation(self):
+        """SpMV on a permuted matrix equals permuted SpMV — the core
+        correctness property of reordering as an optimization."""
+        from repro.sparse.permute import permute_symmetric
+
+        coo = random_coo(12, 12, 50, seed=11)
+        csr = coo_to_csr(coo)
+        rng = np.random.default_rng(12)
+        perm = rng.permutation(12)
+        x = rng.standard_normal(12)
+
+        y = spmv_csr(csr, x)
+        permuted = permute_symmetric(csr, perm)
+        x_permuted = np.empty_like(x)
+        x_permuted[perm] = x
+        y_permuted = spmv_csr(permuted, x_permuted)
+        assert np.allclose(y_permuted[perm], y)

@@ -1,0 +1,66 @@
+"""Node-masking (insular sub-matrix) semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.mask import restrict_to_nodes
+
+
+def sample():
+    # 0->1, 1->2, 2->0, 3->3
+    return coo_to_csr(COOMatrix(4, 4, [0, 1, 2, 3], [1, 2, 0, 3]))
+
+
+class TestModes:
+    def test_either_keeps_touching_entries(self):
+        mask = np.asarray([True, False, False, False])
+        kept = restrict_to_nodes(sample(), mask, mode="either")
+        # entries touching node 0: (0,1) and (2,0)
+        assert kept.nnz == 2
+
+    def test_both_requires_both_endpoints(self):
+        mask = np.asarray([True, True, False, False])
+        kept = restrict_to_nodes(sample(), mask, mode="both")
+        assert kept.nnz == 1  # only (0, 1)
+
+    def test_row_mode(self):
+        mask = np.asarray([False, True, False, False])
+        kept = restrict_to_nodes(sample(), mask, mode="row")
+        assert kept.nnz == 1  # (1, 2)
+        assert np.array_equal(kept.row_slice(1), [2])
+
+    def test_col_mode(self):
+        mask = np.asarray([False, True, False, False])
+        kept = restrict_to_nodes(sample(), mask, mode="col")
+        assert kept.nnz == 1  # (0, 1)
+
+    def test_all_selected_is_identity(self):
+        csr = sample()
+        kept = restrict_to_nodes(csr, np.ones(4, dtype=bool))
+        assert kept == csr
+
+    def test_none_selected_empties(self):
+        kept = restrict_to_nodes(sample(), np.zeros(4, dtype=bool))
+        assert kept.nnz == 0
+
+    def test_shape_is_preserved(self):
+        kept = restrict_to_nodes(sample(), np.zeros(4, dtype=bool))
+        assert kept.shape == (4, 4)
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValidationError):
+            restrict_to_nodes(sample(), np.ones(4, dtype=bool), mode="sideways")
+
+    def test_bad_mask_shape(self):
+        with pytest.raises(ShapeError):
+            restrict_to_nodes(sample(), np.ones(3, dtype=bool))
+
+    def test_rectangular_rejected(self):
+        rect = coo_to_csr(COOMatrix(2, 3, [0], [2]))
+        with pytest.raises(ShapeError):
+            restrict_to_nodes(rect, np.ones(2, dtype=bool))

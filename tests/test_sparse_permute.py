@@ -1,0 +1,101 @@
+"""Symmetric permutation semantics and permutation validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.permute import (
+    check_permutation,
+    invert_permutation,
+    permute_coo,
+    permute_symmetric,
+)
+
+
+def square_csr():
+    coo = COOMatrix(4, 4, [0, 0, 1, 2, 3], [1, 3, 2, 0, 3], [1.0, 2.0, 3.0, 4.0, 5.0])
+    return coo_to_csr(coo)
+
+
+class TestCheckPermutation:
+    def test_valid(self):
+        out = check_permutation(np.asarray([2, 0, 1]), 3)
+        assert out.dtype == np.int64
+
+    def test_wrong_length(self):
+        with pytest.raises(ShapeError):
+            check_permutation(np.asarray([0, 1]), 3)
+
+    def test_repeated_entry(self):
+        with pytest.raises(ValidationError):
+            check_permutation(np.asarray([0, 0, 1]), 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_permutation(np.asarray([0, 1, 3]), 3)
+
+    def test_negative(self):
+        with pytest.raises(ValidationError):
+            check_permutation(np.asarray([0, -1, 1]), 3)
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_permutation(np.asarray([0.0, 1.0]), 2)
+
+    def test_empty(self):
+        assert check_permutation(np.asarray([], dtype=np.int64), 0).size == 0
+
+
+class TestInvert:
+    def test_inverse_composes_to_identity(self):
+        perm = np.asarray([2, 0, 3, 1])
+        inv = invert_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(4))
+        assert np.array_equal(inv[perm], np.arange(4))
+
+
+class TestPermuteSymmetric:
+    def test_entry_relocation(self):
+        csr = square_csr()
+        perm = np.asarray([3, 2, 1, 0])  # reverse
+        permuted = permute_symmetric(csr, perm)
+        dense = csr.to_dense()
+        expected = dense[::-1, ::-1]
+        assert np.array_equal(permuted.to_dense(), expected)
+
+    def test_identity_is_noop(self):
+        csr = square_csr()
+        assert permute_symmetric(csr, np.arange(4)) == csr.sort_rows()
+
+    def test_preserves_nnz_and_values_multiset(self):
+        csr = square_csr()
+        permuted = permute_symmetric(csr, np.asarray([1, 3, 0, 2]))
+        assert permuted.nnz == csr.nnz
+        assert sorted(permuted.values) == sorted(csr.values)
+
+    def test_degree_multiset_preserved(self):
+        csr = square_csr()
+        permuted = permute_symmetric(csr, np.asarray([1, 3, 0, 2]))
+        assert sorted(permuted.row_degrees()) == sorted(csr.row_degrees())
+
+    def test_rejects_rectangular(self):
+        coo = COOMatrix(2, 3, [0], [2])
+        with pytest.raises(ShapeError):
+            permute_symmetric(coo_to_csr(coo), np.arange(2))
+
+    def test_roundtrip_with_inverse(self):
+        csr = square_csr()
+        perm = np.asarray([2, 0, 3, 1])
+        back = permute_symmetric(permute_symmetric(csr, perm), invert_permutation(perm))
+        assert back == csr.sort_rows()
+
+
+class TestPermuteCoo:
+    def test_matches_csr_path(self):
+        coo = COOMatrix(3, 3, [0, 1, 2], [1, 2, 0])
+        perm = np.asarray([1, 2, 0])
+        via_coo = coo_to_csr(permute_coo(coo, perm))
+        via_csr = permute_symmetric(coo_to_csr(coo), perm)
+        assert via_coo == via_csr

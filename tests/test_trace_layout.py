@@ -1,0 +1,70 @@
+"""Address-space layout for traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.trace.layout import AddressSpace, Region
+
+
+class TestAllocation:
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace(line_bytes=32)
+        a = space.allocate("a", 100, 4)
+        b = space.allocate("b", 50, 4)
+        assert a.end_line <= b.base_line
+
+    def test_guard_line_between_regions(self):
+        space = AddressSpace(line_bytes=32)
+        a = space.allocate("a", 8, 4)  # exactly one line
+        b = space.allocate("b", 8, 4)
+        assert b.base_line == a.end_line + 1
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 10, 4)
+        with pytest.raises(ValidationError):
+            space.allocate("a", 10, 4)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValidationError):
+            AddressSpace().allocate("a", -1, 4)
+        with pytest.raises(ValidationError):
+            AddressSpace().allocate("a", 1, 0)
+        with pytest.raises(ValidationError):
+            AddressSpace(line_bytes=0)
+
+    def test_region_bounds_report(self):
+        space = AddressSpace()
+        space.allocate("x", 16, 4)
+        space.allocate("y", 16, 4)
+        bounds = space.region_bounds()
+        assert [name for name, _, _ in bounds] == ["x", "y"]
+
+
+class TestLineMapping:
+    def test_lines_of(self):
+        region = Region("x", base_line=10, n_elements=100, element_bytes=4, line_bytes=32)
+        lines = region.lines_of(np.asarray([0, 7, 8, 15, 16]))
+        assert np.array_equal(lines, [10, 10, 11, 11, 12])
+
+    def test_n_lines_rounds_up(self):
+        region = Region("x", 0, n_elements=9, element_bytes=4, line_bytes=32)
+        assert region.n_lines == 2
+
+    def test_byte_span_multi_line_gather(self):
+        region = Region("b", 5, n_elements=1024, element_bytes=4, line_bytes=32)
+        starts, span = region.byte_span_lines(np.asarray([0, 256]), 256)
+        assert span == 32
+        assert np.array_equal(starts, [5, 5 + 32])
+
+    def test_byte_span_sub_line_gather(self):
+        region = Region("b", 0, n_elements=64, element_bytes=4, line_bytes=32)
+        starts, span = region.byte_span_lines(np.asarray([0, 8, 16]), 4)
+        assert span == 1
+        assert np.array_equal(starts, [0, 1, 2])
+
+    def test_unaligned_gather_rejected(self):
+        region = Region("b", 0, n_elements=64, element_bytes=4, line_bytes=32)
+        with pytest.raises(ValidationError):
+            region.byte_span_lines(np.asarray([0]), 12)  # 48 B not aligned
