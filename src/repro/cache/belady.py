@@ -21,6 +21,7 @@ import numpy as np
 from repro.cache.config import CacheConfig
 from repro.cache.lru import RegionBounds, classify_misses
 from repro.cache.stats import CacheStats
+from repro.obs import get_obs
 
 
 def next_use_index(trace: np.ndarray) -> np.ndarray:
@@ -46,6 +47,19 @@ def simulate_belady(
     regions: Optional[RegionBounds] = None,
 ) -> CacheStats:
     """Simulate a cache with Belady's optimal replacement."""
+    obs = get_obs()
+    with obs.span("cache-sim", policy="belady", accesses=int(np.size(trace))):
+        stats = _simulate_belady(trace, config, regions)
+    if obs.enabled:
+        obs.add_counters(stats.as_counters(prefix="cache.belady"))
+    return stats
+
+
+def _simulate_belady(
+    trace: np.ndarray,
+    config: CacheConfig,
+    regions: Optional[RegionBounds] = None,
+) -> CacheStats:
     trace = np.ascontiguousarray(np.asarray(trace, dtype=np.int64))
     next_use = next_use_index(trace)
     n_sets = config.n_sets

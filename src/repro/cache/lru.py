@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.cache.config import CacheConfig
 from repro.cache.stats import CacheStats
+from repro.obs import get_obs
 
 #: (region name, first line id, one-past-last line id)
 RegionBounds = Sequence[Tuple[str, int, int]]
@@ -34,6 +35,19 @@ def simulate_lru(
     regions: Optional[RegionBounds] = None,
 ) -> CacheStats:
     """Simulate an LRU cache over ``trace`` (array of line IDs)."""
+    obs = get_obs()
+    with obs.span("cache-sim", policy="lru", accesses=int(np.size(trace))):
+        stats = _simulate_lru(trace, config, regions)
+    if obs.enabled:
+        obs.add_counters(stats.as_counters(prefix="cache.lru"))
+    return stats
+
+
+def _simulate_lru(
+    trace: np.ndarray,
+    config: CacheConfig,
+    regions: Optional[RegionBounds] = None,
+) -> CacheStats:
     trace = np.ascontiguousarray(np.asarray(trace, dtype=np.int64))
     n_sets = config.n_sets
     ways = config.ways

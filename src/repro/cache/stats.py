@@ -27,6 +27,18 @@ class CacheStats:
     line_bytes: int = 32
     region_misses: Dict[str, int] = field(default_factory=dict)
 
+    def as_counters(self, prefix: str = "cache") -> Dict[str, int]:
+        """Flat counter dict for the observability layer (repro.obs)."""
+        return {
+            f"{prefix}.accesses": self.accesses,
+            f"{prefix}.hits": self.hits,
+            f"{prefix}.misses": self.misses,
+            f"{prefix}.evictions": self.evictions,
+            f"{prefix}.dead_evictions": self.dead_evictions,
+            f"{prefix}.dead_at_end": self.dead_at_end,
+            f"{prefix}.traffic_bytes": self.traffic_bytes,
+        }
+
     @property
     def insertions(self) -> int:
         """Every miss inserts a line."""

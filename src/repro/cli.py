@@ -7,20 +7,48 @@ Examples::
     repro evaluate soc-forum --technique rabbit++
     repro experiment fig2 --profile bench
     repro export soc-forum /tmp/soc-forum.mtx
+    repro profile soc-forum --technique rabbit
+    repro cache-stats
+    repro version
+
+Observability flags (global, before the subcommand)::
+
+    repro --log-level info --log-file /tmp/run.jsonl experiment fig2
+
+``--log-file`` writes one JSON event per span end / counter flush
+(see :mod:`repro.obs` for the schema); ``--log-level`` turns on human
+log lines on stderr; ``--quiet`` suppresses progress reporting.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.report import render_table
-from repro.experiments.run_all import ABLATIONS, DRIVERS, run_experiment
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.run_all import ABLATIONS, DRIVERS, run_experiment, timing_summary
+from repro.experiments.runner import ExperimentRunner, resolve_cache_dir
 from repro.graphs.corpus import PROFILES, load_matrix, selection_report
 from repro.graphs.io import write_matrix_market
+from repro.obs import (
+    Instrumentation,
+    JsonlSink,
+    NullSink,
+    ProgressReporter,
+    format_span_totals,
+    get_obs,
+)
 from repro.reorder.registry import available_techniques
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+#: Memo-file kinds recognized by ``repro cache-stats`` (longest first,
+#: so ``reorder-time-...json`` is not misread as kind ``reorder``).
+_CACHE_KINDS = ("reorder-time", "metrics", "run")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -29,13 +57,52 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    return args.handler(args)
+    try:
+        instr = _make_instrumentation(args)
+    except OSError as exc:
+        print(f"repro: error: cannot open log file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with obs.using(instr):
+            code = args.handler(args)
+            instr.flush()
+            return code
+    finally:
+        instr.close()
+
+
+def _make_instrumentation(args: argparse.Namespace) -> Instrumentation:
+    """Build the per-invocation instrumentation from the global flags."""
+    if args.log_level:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            stream=sys.stderr,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
+    sink = JsonlSink(path=args.log_file) if args.log_file else NullSink()
+    enabled = bool(args.log_file or args.log_level)
+    return Instrumentation(sink=sink, enabled=enabled)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Community-based matrix reordering reproduction (ISPASS 2023)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        help="enable observability and stderr logging at this level",
+    )
+    parser.add_argument(
+        "--log-file",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL span/counter events to PATH",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress reporting"
     )
     subparsers = parser.add_subparsers(dest="command")
 
@@ -73,6 +140,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also render an ASCII bar chart over the first numeric column",
     )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="per-stage time/traffic breakdown of one uncached pipeline run",
+    )
+    profile.add_argument("matrix")
+    profile.add_argument("--technique", default="rabbit++", choices=available_techniques())
+    profile.add_argument("--kernel", default="spmv-csr")
+    profile.add_argument("--policy", default="lru", choices=["lru", "belady"])
+    profile.add_argument("--profile", default="full", choices=PROFILES)
+    profile.set_defaults(handler=_cmd_profile)
+
+    cache_stats = subparsers.add_parser(
+        "cache-stats", help="report .repro_cache/ memoization effectiveness"
+    )
+    cache_stats.add_argument(
+        "--cache-dir",
+        default=None,
+        help="memo directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+    )
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
+
+    version = subparsers.add_parser("version", help="print the package version")
+    version.set_defaults(handler=_cmd_version)
 
     techniques = subparsers.add_parser("techniques", help="list reordering techniques")
     techniques.set_defaults(handler=_cmd_techniques)
@@ -118,8 +209,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = sorted(DRIVERS) if args.name == "all" else [args.name]
     runner = ExperimentRunner(args.profile)
+    progress = ProgressReporter(
+        len(names), label="experiments", enabled=not args.quiet and len(names) > 1
+    )
     for name in names:
         report = run_experiment(name, profile=args.profile, runner=runner)
+        progress.update(name)
         print(report.to_text())
         if getattr(args, "figure", False):
             column = _first_numeric_column(report.rows)
@@ -127,6 +222,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 print()
                 print(report.to_figure(value_column=column))
         print()
+    progress.finish()
+    if get_obs().enabled and not args.quiet:
+        print("== where the time went ==")
+        print(timing_summary())
     return 0
 
 
@@ -137,6 +236,92 @@ def _first_numeric_column(rows) -> Optional[int]:
         if column > 0 and isinstance(value, float):
             return column
     return None
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """One uncached pipeline run under a dedicated instrumentation."""
+    instr = Instrumentation(enabled=True)
+    with obs.using(instr):
+        runner = ExperimentRunner(args.profile, use_cache=False)
+        with instr.span("profile") as wall:
+            record = runner.run(
+                args.matrix, args.technique, kernel=args.kernel, policy=args.policy
+            )
+    totals = instr.span_totals()
+    totals.pop("profile", None)
+    print(
+        f"== profile {args.matrix} "
+        f"(technique={args.technique}, kernel={args.kernel}, policy={args.policy}) =="
+    )
+    print(format_span_totals(totals, total_seconds=wall.seconds))
+    print()
+    print(f"wall seconds        {wall.seconds:.4f}")
+    print("traffic breakdown:")
+    for key in (
+        "traffic_bytes",
+        "compulsory_bytes",
+        "normalized_traffic",
+        "normalized_runtime",
+        "hit_rate",
+        "dead_line_fraction",
+        "accesses",
+        "misses",
+        "reorder_seconds",
+    ):
+        print(f"  {key:24s} {getattr(record, key)}")
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    entries = {kind: [0, 0] for kind in _CACHE_KINDS}  # kind -> [count, bytes]
+    other = [0, 0]
+    if os.path.isdir(cache_dir):
+        for name in os.listdir(cache_dir):
+            path = os.path.join(cache_dir, name)
+            if not (name.endswith(".json") and os.path.isfile(path)):
+                continue
+            size = os.path.getsize(path)
+            for kind in _CACHE_KINDS:
+                if name.startswith(f"{kind}-"):
+                    entries[kind][0] += 1
+                    entries[kind][1] += size
+                    break
+            else:
+                other[0] += 1
+                other[1] += size
+    rows = [[kind, count, size] for kind, (count, size) in entries.items()]
+    if other[0]:
+        rows.append(["other", other[0], other[1]])
+    total_count = sum(row[1] for row in rows)
+    total_bytes = sum(row[2] for row in rows)
+    rows.append(["total", total_count, total_bytes])
+    print(f"cache dir: {cache_dir}" + ("" if os.path.isdir(cache_dir) else " (missing)"))
+    print(render_table(["kind", "entries", "bytes"], rows))
+
+    counters = get_obs().counters.snapshot()["counters"]
+    hits = sum(v for k, v in counters.items() if k.startswith("memo.") and k.endswith(".hit"))
+    misses = sum(v for k, v in counters.items() if k.startswith("memo.") and k.endswith(".miss"))
+    print()
+    if hits + misses:
+        print(
+            f"this process: {int(hits)} memo hits, {int(misses)} misses "
+            f"(hit ratio {hits / (hits + misses):.1%})"
+        )
+    else:
+        print("this process: no memo lookups recorded (enable with --log-level/--log-file)")
+    return 0
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    try:
+        from repro import __version__ as version
+    except ImportError:  # pragma: no cover - fallback for odd installs
+        from importlib.metadata import version as dist_version
+
+        version = dist_version("repro")
+    print(f"repro {version}")
+    return 0
 
 
 def _cmd_techniques(args: argparse.Namespace) -> int:

@@ -26,6 +26,7 @@ from repro.experiments import (
 )
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import ExperimentRunner
+from repro.obs import ProgressReporter, format_span_totals, get_obs, logger
 
 DRIVERS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1.run,
@@ -62,15 +63,42 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {name!r}; available: {sorted(DRIVERS) + sorted(ABLATIONS)}"
         ) from None
-    if name == "table1":
-        return driver(profile=profile)
-    return driver(profile=profile, runner=runner)
+    obs = get_obs()
+    logger.info("experiment %s: starting (profile=%s)", name, profile)
+    with obs.span(f"experiment.{name}", profile=profile) as span:
+        if name == "table1":
+            report = driver(profile=profile)
+        else:
+            report = driver(profile=profile, runner=runner)
+    if span is not None:
+        logger.info("experiment %s: done in %.3fs", name, span.seconds)
+    return report
 
 
-def run_all(profile: str = "full") -> List[ExperimentReport]:
-    """Run every driver, sharing one runner (and its caches)."""
+def run_all(
+    profile: str = "full", progress: Optional[ProgressReporter] = None
+) -> List[ExperimentReport]:
+    """Run every driver, sharing one runner (and its caches).
+
+    Pass a :class:`ProgressReporter` to get per-driver progress lines;
+    ``None`` keeps the sweep silent (the library default).
+    """
     runner = ExperimentRunner(profile)
     reports = []
     for name in DRIVERS:
         reports.append(run_experiment(name, profile=profile, runner=runner))
+        if progress is not None:
+            progress.update(name)
+    if progress is not None:
+        progress.finish()
     return reports
+
+
+def timing_summary() -> str:
+    """Where the time went: span totals from the active instrumentation.
+
+    Returns an aligned stage/calls/seconds/share table; nested spans
+    (``experiment.*`` wraps the per-stage spans) overlap, so the share
+    column is per-row against the largest span, not additive.
+    """
+    return format_span_totals(get_obs().span_totals())

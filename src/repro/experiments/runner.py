@@ -10,6 +10,18 @@ computed from the RABBIT detection.  Both stages are deterministic, so
 the runner memoizes simulation records and matrix metrics as JSON files
 under ``.repro_cache/`` (permutations are additionally memoized
 in-process).  Delete the cache directory to force recomputation.
+
+The memo directory can be redirected without code changes by setting
+the ``REPRO_CACHE_DIR`` environment variable (useful for CI and
+multi-run jobs); an explicit ``cache_dir=`` argument still wins, and
+``DEFAULT_CACHE_DIR`` (``./.repro_cache``) is the fallback.
+
+Every pipeline stage runs inside an observability span (``load``,
+``reorder``, ``permute``, ``mask``, ``trace``, ``cache-sim``,
+``perf-model``, ``memo-load``, ``memo-store``) and memoization
+effectiveness is exported as ``memo.<kind>.hit`` / ``memo.<kind>.miss``
+counters — see :mod:`repro.obs` and the ``repro profile`` /
+``repro cache-stats`` commands.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from repro.graphs.graph import Graph
 from repro.metrics.community_stats import community_size_stats
 from repro.metrics.insularity import insular_mask, insular_node_fraction, insularity
 from repro.metrics.skew import degree_skew
+from repro.obs import get_obs, logger
 from repro.reorder.base import TimedReordering, reorder_with_timing
 from repro.reorder.rabbit import RabbitOrder
 from repro.reorder.registry import make_technique
@@ -44,6 +57,13 @@ KERNELS = ("spmv-csr", "spmv-coo", "spmm-csr-4", "spmm-csr-256")
 MASKS = ("none", "insular")
 
 DEFAULT_CACHE_DIR = os.path.join(os.getcwd(), ".repro_cache")
+
+
+def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
+    """Explicit argument, else ``$REPRO_CACHE_DIR``, else the default."""
+    if cache_dir is not None:
+        return cache_dir
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
 
 
 @dataclass
@@ -113,7 +133,7 @@ class ExperimentRunner:
     ) -> None:
         self.profile = profile
         self.platform = platform if platform is not None else scaled_platform(profile)
-        self.cache_dir = cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR
+        self.cache_dir = resolve_cache_dir(cache_dir)
         self.use_cache = bool(use_cache)
         self.schedule = schedule
         self._permutations: Dict[Tuple[str, str], TimedReordering] = {}
@@ -126,7 +146,8 @@ class ExperimentRunner:
 
     def graph(self, matrix: str) -> Graph:
         if matrix not in self._graphs:
-            self._graphs[matrix] = load_graph(matrix)
+            with get_obs().span("load", matrix=matrix):
+                self._graphs[matrix] = load_graph(matrix)
         return self._graphs[matrix]
 
     # -- permutations ---------------------------------------------------
@@ -153,27 +174,32 @@ class ExperimentRunner:
 
     def matrix_metrics(self, matrix: str) -> MatrixMetrics:
         """Insularity/skew/community statistics (RABBIT detection)."""
+        obs = get_obs()
         path = self._cache_path("metrics", matrix)
         if self.use_cache and os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as handle:
-                return MatrixMetrics.from_json(json.load(handle))
+            obs.counter("memo.metrics.hit")
+            with obs.span("memo-load", kind="metrics", matrix=matrix):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return MatrixMetrics.from_json(json.load(handle))
+        obs.counter("memo.metrics.miss")
         graph = self.graph(matrix)
-        detection = RabbitOrder().detect(graph)
-        assignment = detection.assignment
-        stats = community_size_stats(assignment)
-        metrics = MatrixMetrics(
-            matrix=matrix,
-            n_nodes=graph.n_nodes,
-            nnz=graph.adjacency.nnz,
-            avg_degree=graph.average_degree(),
-            insularity=insularity(graph, assignment),
-            insular_node_fraction=insular_node_fraction(graph, assignment),
-            skew=degree_skew(graph),
-            modularity=modularity(graph, assignment),
-            n_communities=stats.n_communities,
-            normalized_avg_community_size=stats.normalized_average_size,
-            largest_community_fraction=stats.largest_fraction,
-        )
+        with obs.span("metrics", matrix=matrix):
+            detection = RabbitOrder().detect(graph)
+            assignment = detection.assignment
+            stats = community_size_stats(assignment)
+            metrics = MatrixMetrics(
+                matrix=matrix,
+                n_nodes=graph.n_nodes,
+                nnz=graph.adjacency.nnz,
+                avg_degree=graph.average_degree(),
+                insularity=insularity(graph, assignment),
+                insular_node_fraction=insular_node_fraction(graph, assignment),
+                skew=degree_skew(graph),
+                modularity=modularity(graph, assignment),
+                n_communities=stats.n_communities,
+                normalized_avg_community_size=stats.normalized_average_size,
+                largest_community_fraction=stats.largest_fraction,
+            )
         self._write_json(path, metrics.to_json())
         return metrics
 
@@ -192,20 +218,34 @@ class ExperimentRunner:
             raise ValidationError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         if mask not in MASKS:
             raise ValidationError(f"mask must be one of {MASKS}, got {mask!r}")
+        obs = get_obs()
         cache_key = self._cache_path(
             "run",
             f"{self.platform.name}|{self.schedule}|{matrix}|{technique}|{kernel}|{policy}|{mask}",
         )
         if self.use_cache and os.path.exists(cache_key):
-            with open(cache_key, "r", encoding="utf-8") as handle:
-                return RunRecord.from_json(json.load(handle))
+            obs.counter("memo.run.hit")
+            logger.debug(
+                "memo hit: %s/%s/%s/%s/%s", matrix, technique, kernel, policy, mask
+            )
+            with obs.span(
+                "memo-load", kind="run", matrix=matrix, technique=technique
+            ):
+                with open(cache_key, "r", encoding="utf-8") as handle:
+                    return RunRecord.from_json(json.load(handle))
 
+        obs.counter("memo.run.miss")
         timed = self.permutation(matrix, technique)
         graph = self.graph(matrix)
-        permuted = permute_symmetric(graph.adjacency, timed.permutation)
+        with obs.span("permute", matrix=matrix, technique=technique):
+            permuted = permute_symmetric(graph.adjacency, timed.permutation)
         if mask == "insular":
-            permuted = self._apply_insular_mask(matrix, permuted, timed.permutation)
-        trace = self._build_trace(permuted, kernel)
+            with obs.span("mask", matrix=matrix):
+                permuted = self._apply_insular_mask(
+                    matrix, permuted, timed.permutation
+                )
+        with obs.span("trace", matrix=matrix, kernel=kernel):
+            trace = self._build_trace(permuted, kernel)
         platform = self._platform_for_kernel(kernel)
         run = model_run(trace, platform, policy=policy)
         record = RunRecord(
@@ -284,11 +324,21 @@ class ExperimentRunner:
     def _write_json(self, path: str, payload: Dict[str, object]) -> None:
         if not self.use_cache:
             return
-        os.makedirs(self.cache_dir, exist_ok=True)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-        os.replace(tmp, path)
+        with get_obs().span("memo-store"):
+            os.makedirs(self.cache_dir, exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, indent=1, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                # json.dump (or the rename) failed mid-write: don't
+                # leave a stray .tmp file behind in the cache dir.
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def _reorder_time_path(self, matrix: str, technique: str) -> str:
         return self._cache_path("reorder-time", f"{matrix}|{technique}")
@@ -302,6 +352,7 @@ class ExperimentRunner:
     def _load_reorder_time(self, matrix: str, technique: str) -> Optional[float]:
         path = self._reorder_time_path(matrix, technique)
         if self.use_cache and os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as handle:
-                return float(json.load(handle)["seconds"])
+            with get_obs().span("memo-load", kind="reorder-time", matrix=matrix):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return float(json.load(handle)["seconds"])
         return None

@@ -23,6 +23,7 @@ from repro.cache.lru import compulsory_misses, simulate_lru
 from repro.cache.stats import CacheStats
 from repro.errors import ValidationError
 from repro.gpu.specs import PlatformSpec
+from repro.obs import get_obs
 from repro.trace.kernel_traces import KernelTrace
 
 
@@ -77,21 +78,25 @@ def model_run(
     else:
         raise ValidationError(f"policy must be 'lru' or 'belady', got {policy!r}")
 
-    compulsory_bytes = compulsory_misses(trace.lines) * trace.line_bytes
-    irregular = sum(
-        stats.region_misses.get(region, 0) for region in trace.irregular_regions
-    )
-    irregular_bytes = irregular * trace.line_bytes
-    streamed_bytes = stats.traffic_bytes - irregular_bytes
+    # The cache simulation above carries its own "cache-sim" span; this
+    # span covers only the remaining run-time-model arithmetic so the
+    # two stages stay disjoint in profile breakdowns.
+    with get_obs().span("perf-model", kernel=trace.kernel, platform=platform.name):
+        compulsory_bytes = compulsory_misses(trace.lines) * trace.line_bytes
+        irregular = sum(
+            stats.region_misses.get(region, 0) for region in trace.irregular_regions
+        )
+        irregular_bytes = irregular * trace.line_bytes
+        streamed_bytes = stats.traffic_bytes - irregular_bytes
 
-    bandwidth = platform.achievable_bandwidth_bytes_per_s
-    # Ideal time: the irregular data is touched once (its compulsory
-    # share) and everything streams at full bandwidth — the paper's
-    # "compulsory traffic at peak achievable bandwidth".
-    ideal_seconds = compulsory_bytes / bandwidth
-    modeled_seconds = streamed_bytes / bandwidth + irregular_bytes / (
-        bandwidth * platform.irregular_efficiency
-    )
+        bandwidth = platform.achievable_bandwidth_bytes_per_s
+        # Ideal time: the irregular data is touched once (its compulsory
+        # share) and everything streams at full bandwidth — the paper's
+        # "compulsory traffic at peak achievable bandwidth".
+        ideal_seconds = compulsory_bytes / bandwidth
+        modeled_seconds = streamed_bytes / bandwidth + irregular_bytes / (
+            bandwidth * platform.irregular_efficiency
+        )
     return KernelRunModel(
         kernel=trace.kernel,
         platform=platform.name,

@@ -1,0 +1,103 @@
+"""repro.obs — zero-dependency observability for the experiment pipeline.
+
+The subsystem provides four pieces, all stdlib-only:
+
+* hierarchical **spans** (:meth:`Instrumentation.span`) — nested
+  wall-time timers with a thread-local context stack;
+* named **counters/gauges** (:meth:`Instrumentation.counter`,
+  :class:`CounterRegistry`) — memo hits/misses, cache-simulator totals;
+* structured **event sinks** (:class:`JsonlSink` and friends) — one
+  JSON object per span end / counter flush, tagged with the run id;
+* a terminal **progress reporter** (:class:`ProgressReporter`) for
+  corpus sweeps.
+
+A process-wide instance is reachable via :func:`get_obs`.  By default
+it is *disabled*: spans yield ``None`` without reading the clock and
+counters return immediately, so instrumented code pays one attribute
+check when observability is off.  Enable it with :func:`configure`
+(the CLI does this for ``--log-level``/``--log-file``) or install a
+scoped instance with :func:`using`::
+
+    instr = Instrumentation(sink=MemorySink(), clock=FakeClock(tick=1.0))
+    with using(instr):
+        run_pipeline()
+    print(format_span_totals(instr.span_totals()))
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Optional
+
+from repro.obs.clock import Clock, FakeClock, MonotonicClock
+from repro.obs.core import Instrumentation, Span, SpanTotal
+from repro.obs.counters import CounterRegistry
+from repro.obs.progress import ProgressReporter, format_span_totals
+from repro.obs.sink import EventSink, JsonlSink, MemorySink, NullSink
+
+#: Package-wide logger honoring the CLI's ``--log-level``.
+logger = logging.getLogger("repro")
+
+_DISABLED = Instrumentation(sink=NullSink(), enabled=False, run_id="disabled")
+_current: Instrumentation = _DISABLED
+
+
+def get_obs() -> Instrumentation:
+    """The process-wide instrumentation (a disabled no-op by default)."""
+    return _current
+
+
+def configure(
+    sink: Optional[EventSink] = None,
+    clock: Optional[Clock] = None,
+    run_id: Optional[str] = None,
+    tags: Optional[Mapping[str, object]] = None,
+    enabled: bool = True,
+) -> Instrumentation:
+    """Install (and return) a new process-wide instrumentation."""
+    global _current
+    _current = Instrumentation(
+        sink=sink, clock=clock, enabled=enabled, run_id=run_id, tags=tags
+    )
+    return _current
+
+
+def reset() -> None:
+    """Back to the disabled default (used by tests and CLI teardown)."""
+    global _current
+    _current = _DISABLED
+
+
+@contextmanager
+def using(instr: Instrumentation) -> Iterator[Instrumentation]:
+    """Temporarily install ``instr`` as the process-wide instance."""
+    global _current
+    previous = _current
+    _current = instr
+    try:
+        yield instr
+    finally:
+        _current = previous
+
+
+__all__ = [
+    "Clock",
+    "CounterRegistry",
+    "EventSink",
+    "FakeClock",
+    "Instrumentation",
+    "JsonlSink",
+    "MemorySink",
+    "MonotonicClock",
+    "NullSink",
+    "ProgressReporter",
+    "Span",
+    "SpanTotal",
+    "configure",
+    "format_span_totals",
+    "get_obs",
+    "logger",
+    "reset",
+    "using",
+]

@@ -1,0 +1,46 @@
+"""Injectable time sources for the instrumentation layer.
+
+Spans and events read time through a :class:`Clock` so tests can swap
+in a :class:`FakeClock` and assert exact durations instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic time source; ``now()`` returns seconds as a float."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Wall-clock via :func:`time.perf_counter` (the default)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests.
+
+    ``tick`` (default 0) is added after every ``now()`` read, so two
+    consecutive reads differ by exactly ``tick``; ``advance`` moves the
+    clock explicitly.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        value = self._now
+        self._now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now += float(seconds)

@@ -1,0 +1,174 @@
+"""The Instrumentation hub: spans, counters, and event emission.
+
+One :class:`Instrumentation` instance ties together a clock, a sink,
+and a counter registry.  Pipeline code grabs the process-wide instance
+via :func:`repro.obs.get_obs` and opens spans around its stages::
+
+    obs = get_obs()
+    with obs.span("trace", matrix="soc-forum", kernel="spmv-csr"):
+        trace = build_trace(...)
+
+When observability is disabled (the default) ``span`` yields ``None``
+without reading the clock, touching the stack, or emitting — the hot
+path costs one attribute check.
+
+Event schema (one JSON object per line in a :class:`JsonlSink`):
+
+* span end:  ``{"kind": "span", "run_id": ..., "ts": <clock seconds>,
+  "name": "trace", "path": "experiment.fig2/runner.run/trace",
+  "seconds": 0.012, "status": "ok"|"error", "error": null|"...",
+  "tags": {"matrix": ..., ...}}``
+* counter flush: ``{"kind": "counters", "run_id": ..., "ts": ...,
+  "counters": {...}, "gauges": {...}}``
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.counters import CounterRegistry
+from repro.obs.sink import EventSink, NullSink
+
+
+@dataclass
+class Span:
+    """A finished (or in-flight) timed region.
+
+    Yielded by :meth:`Instrumentation.span`; ``seconds`` and ``status``
+    are filled in when the ``with`` block exits, so the object can be
+    inspected after the block.
+    """
+
+    name: str
+    path: str
+    tags: Dict[str, object] = field(default_factory=dict)
+    seconds: float = 0.0
+    status: str = "running"
+    error: Optional[str] = None
+
+
+@dataclass
+class SpanTotal:
+    """Aggregate over every finished span sharing one name."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+class Instrumentation:
+    """Clock + sink + counters + a thread-local span stack."""
+
+    def __init__(
+        self,
+        sink: Optional[EventSink] = None,
+        clock: Optional[Clock] = None,
+        enabled: bool = True,
+        run_id: Optional[str] = None,
+        tags: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.enabled = bool(enabled)
+        self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:12]
+        self.tags = dict(tags or {})
+        self.counters = CounterRegistry()
+        self._local = threading.local()
+        self._agg_lock = threading.Lock()
+        self._agg: Dict[str, SpanTotal] = {}
+
+    # -- spans ----------------------------------------------------------
+
+    def _stack(self) -> "list[str]":
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **tags: object) -> Iterator[Optional[Span]]:
+        """Time a region; nested calls build a ``/``-joined path.
+
+        Exceptions propagate but are recorded (``status="error"`` plus
+        the exception repr) and the stack is popped either way.
+        """
+        if not self.enabled:
+            yield None
+            return
+        stack = self._stack()
+        path = "/".join(stack + [name])
+        record = Span(name=name, path=path, tags=dict(tags))
+        stack.append(name)
+        start = self.clock.now()
+        try:
+            yield record
+            record.status = "ok"
+        except BaseException as exc:
+            record.status = "error"
+            record.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            end = self.clock.now()
+            stack.pop()
+            record.seconds = end - start
+            with self._agg_lock:
+                total = self._agg.setdefault(name, SpanTotal())
+                total.calls += 1
+                total.seconds += record.seconds
+            self.sink.emit(
+                {
+                    "kind": "span",
+                    "run_id": self.run_id,
+                    "ts": end,
+                    "name": record.name,
+                    "path": record.path,
+                    "seconds": record.seconds,
+                    "status": record.status,
+                    "error": record.error,
+                    "tags": {**self.tags, **record.tags},
+                }
+            )
+
+    def span_totals(self) -> Dict[str, SpanTotal]:
+        """Per-name aggregates of every span finished so far."""
+        with self._agg_lock:
+            return {
+                name: SpanTotal(total.calls, total.seconds)
+                for name, total in self._agg.items()
+            }
+
+    # -- counters -------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1) -> None:
+        if self.enabled:
+            self.counters.add(name, value)
+
+    def add_counters(self, values: Mapping[str, float]) -> None:
+        if self.enabled:
+            self.counters.add_many(values)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.counters.set_gauge(name, value)
+
+    def flush(self) -> None:
+        """Emit one ``counters`` event with the current snapshot."""
+        if not self.enabled:
+            return
+        snapshot = self.counters.snapshot()
+        self.sink.emit(
+            {
+                "kind": "counters",
+                "run_id": self.run_id,
+                "ts": self.clock.now(),
+                "counters": snapshot["counters"],
+                "gauges": snapshot["gauges"],
+            }
+        )
+
+    def close(self) -> None:
+        self.sink.close()

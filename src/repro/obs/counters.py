@@ -1,0 +1,51 @@
+"""Named counters and gauges with thread-safe aggregation."""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional
+
+
+class CounterRegistry:
+    """Monotonic counters plus last-write-wins gauges.
+
+    Counters accumulate (``memo.run.hit``, ``cache.lru.misses``);
+    gauges record a point-in-time value (``corpus.size``).  All methods
+    are safe to call from multiple threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def add_many(self, values: Mapping[str, float]) -> None:
+        with self._lock:
+            for name, value in values.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def gauge(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Copy of all counters and gauges, for flushing to a sink."""
+        with self._lock:
+            return {"counters": dict(self._counters), "gauges": dict(self._gauges)}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()

@@ -1,0 +1,89 @@
+"""Terminal progress reporting and stage-time tables.
+
+Deliberately free of imports from the rest of ``repro`` (everything
+else imports ``repro.obs``, so this module must stay a leaf).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO
+
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.core import SpanTotal
+
+
+class ProgressReporter:
+    """``[3/12] fig2 (1.24s)`` lines for long sweeps.
+
+    Writes to ``stream`` (default stderr, so tables on stdout stay
+    machine-readable).  On a TTY the line is redrawn in place with a
+    carriage return; otherwise one line per update is printed, which is
+    what CI logs want.  ``enabled=False`` makes every method a no-op.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "",
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.total = int(total)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = bool(enabled)
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.done = 0
+        self._last = self.clock.now()
+        self._interactive = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def update(self, item: str) -> None:
+        """Record one finished item and render the progress line."""
+        self.done += 1
+        if not self.enabled:
+            return
+        now = self.clock.now()
+        elapsed = now - self._last
+        self._last = now
+        prefix = f"{self.label}: " if self.label else ""
+        line = f"[{self.done}/{self.total}] {prefix}{item} ({elapsed:.2f}s)"
+        if self._interactive:
+            self.stream.write("\r" + line.ljust(79))
+            self.stream.flush()
+        else:
+            print(line, file=self.stream)
+
+    def finish(self) -> None:
+        if self.enabled and self._interactive:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+def format_span_totals(
+    totals: Dict[str, SpanTotal],
+    total_seconds: Optional[float] = None,
+) -> str:
+    """Monospace ``stage | calls | seconds | share`` table.
+
+    ``total_seconds`` sets the denominator for the share column
+    (typically the wall time of the enclosing span); nested spans
+    overlap their children, so shares are per-row, not additive.
+    """
+    if not totals:
+        return "(no spans recorded)"
+    rows = sorted(totals.items(), key=lambda kv: kv[1].seconds, reverse=True)
+    denominator = total_seconds if total_seconds else max(
+        t.seconds for _, t in rows
+    ) or 1.0
+    name_width = max(len("stage"), max(len(name) for name, _ in rows))
+    lines = [f"{'stage'.ljust(name_width)}  {'calls':>6}  {'seconds':>10}  {'share':>6}"]
+    lines.append(f"{'-' * name_width}  {'-' * 6}  {'-' * 10}  {'-' * 6}")
+    for name, total in rows:
+        share = total.seconds / denominator if denominator else 0.0
+        lines.append(
+            f"{name.ljust(name_width)}  {total.calls:>6d}  "
+            f"{total.seconds:>10.4f}  {share:>5.1%}"
+        )
+    return "\n".join(lines)

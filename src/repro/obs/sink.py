@@ -1,0 +1,70 @@
+"""Event sinks: where finished spans and counter flushes go.
+
+Every event is a flat JSON-serializable dict with at least ``kind``,
+``ts`` and ``run_id`` keys (see :mod:`repro.obs.core` for the schema).
+Sinks must be thread-safe; span exits may happen on worker threads.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from typing import Dict, List, Optional
+
+
+class EventSink:
+    """Receives structured events; base class doubles as the interface."""
+
+    def emit(self, event: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (file handles); idempotent."""
+
+
+class NullSink(EventSink):
+    """Discards everything — the default when observability is off."""
+
+    def emit(self, event: Dict[str, object]) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Keeps events in a list; for tests and the ``profile`` command."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def by_kind(self, kind: str) -> List[Dict[str, object]]:
+        with self._lock:
+            return [e for e in self.events if e.get("kind") == kind]
+
+
+class JsonlSink(EventSink):
+    """Appends one JSON object per line to a file (or a given stream)."""
+
+    def __init__(
+        self, path: Optional[str] = None, stream: Optional[io.TextIOBase] = None
+    ) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("JsonlSink needs exactly one of path or stream")
+        self._owns_stream = stream is None
+        self._stream = stream if stream is not None else open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, object]) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and not self._stream.closed:
+                self._stream.close()

@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.obs import get_obs
 from repro.sparse.permute import check_permutation
 
 
@@ -49,11 +49,15 @@ def reorder_with_timing(technique: ReorderingTechnique, graph: Graph) -> TimedRe
     """Compute a reordering and measure its pre-processing cost.
 
     The measured time backs the paper's Figure 9 (pre-processing cost
-    vs. matrix size) and the amortization-iteration analysis.
+    vs. matrix size) and the amortization-iteration analysis.  Timing
+    goes through the instrumentation clock (a ``reorder`` span when
+    observability is enabled), so tests can inject a fake clock.
     """
-    start = time.perf_counter()
-    permutation = technique.compute(graph)
-    elapsed = time.perf_counter() - start
+    obs = get_obs()
+    with obs.span("reorder", technique=technique.name, n_nodes=graph.n_nodes):
+        start = obs.clock.now()
+        permutation = technique.compute(graph)
+        elapsed = obs.clock.now() - start
     return TimedReordering(technique.name, permutation, elapsed)
 
 

@@ -1,7 +1,10 @@
 """CLI smoke tests (everything runs on the test profile)."""
 
+import json
+
 import pytest
 
+import repro
 from repro.cli import main
 
 
@@ -49,3 +52,51 @@ class TestCli:
     def test_unknown_technique_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["evaluate", "test-mesh", "--technique", "bogus"])
+
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    def test_profile_prints_stage_breakdown(self, capsys):
+        assert main(
+            ["profile", "test-mesh", "--technique", "rabbit", "--profile", "test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache-sim" in out
+        assert "reorder" in out
+        assert "traffic breakdown" in out
+        assert "normalized_traffic" in out
+
+    def test_cache_stats(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        assert main(["evaluate", "test-mesh", "--technique", "rabbit",
+                     "--profile", "test"]) == 0
+        capsys.readouterr()
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path / "memo") in out
+        assert "run" in out and "metrics" in out
+        assert "total" in out
+
+    def test_log_file_emits_valid_jsonl(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        log = tmp_path / "run.jsonl"
+        assert main(
+            ["--log-file", str(log), "--quiet",
+             "experiment", "fig2", "--profile", "test"]
+        ) == 0
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert events, "expected at least one event"
+        kinds = {e["kind"] for e in events}
+        assert kinds == {"span", "counters"}
+        span_names = {e["name"] for e in events if e["kind"] == "span"}
+        assert "experiment.fig2" in span_names
+        assert "cache-sim" in span_names
+        counters = [e for e in events if e["kind"] == "counters"][-1]
+        assert counters["counters"].get("memo.run.miss", 0) >= 1
+
+    def test_quiet_flag_accepted_without_observability(self, capsys):
+        assert main(["--quiet", "techniques"]) == 0
+        assert "rabbit++" in capsys.readouterr().out

@@ -7,7 +7,14 @@ import numpy as np
 import pytest
 
 from repro.errors import ValidationError
-from repro.experiments.runner import ExperimentRunner, MatrixMetrics, RunRecord
+from repro.experiments.runner import (
+    DEFAULT_CACHE_DIR,
+    ExperimentRunner,
+    MatrixMetrics,
+    RunRecord,
+    resolve_cache_dir,
+)
+from repro.obs import Instrumentation, using
 
 
 @pytest.fixture
@@ -91,6 +98,76 @@ class TestMetrics:
         runner.run("test-mesh", "rabbit")
         seconds = runner.reorder_seconds("test-mesh", "rabbit")
         assert seconds >= 0.0
+
+
+class TestCacheDir:
+    def test_env_var_redirects_cache(self, tmp_path, monkeypatch):
+        target = tmp_path / "redirected"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        runner = ExperimentRunner(profile="test")
+        assert runner.cache_dir == str(target)
+        runner.run("test-mesh", "original")
+        assert os.path.isdir(str(target))
+
+    def test_explicit_cache_dir_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        explicit = str(tmp_path / "explicit")
+        assert ExperimentRunner(profile="test", cache_dir=explicit).cache_dir == explicit
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir() == DEFAULT_CACHE_DIR
+
+    def test_empty_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert resolve_cache_dir() == DEFAULT_CACHE_DIR
+
+
+class TestWriteJson:
+    def test_failed_write_leaves_no_temp_file(self, runner):
+        os.makedirs(runner.cache_dir, exist_ok=True)
+        path = os.path.join(runner.cache_dir, "broken.json")
+        with pytest.raises(TypeError):
+            runner._write_json(path, {"bad": object()})
+        assert os.listdir(runner.cache_dir) == []
+
+    def test_successful_write_leaves_only_target(self, runner):
+        path = os.path.join(runner.cache_dir, "ok.json")
+        runner._write_json(path, {"fine": 1})
+        assert os.listdir(runner.cache_dir) == ["ok.json"]
+
+
+class TestMemoCounters:
+    def test_cold_then_warm_hit_miss_counters(self, runner):
+        cold = Instrumentation(enabled=True)
+        with using(cold):
+            runner.run("test-mesh", "rabbit")
+        assert cold.counters.get("memo.run.miss") == 1
+        assert cold.counters.get("memo.run.hit") == 0
+
+        warm = Instrumentation(enabled=True)
+        fresh = ExperimentRunner(profile="test", cache_dir=runner.cache_dir)
+        with using(warm):
+            fresh.run("test-mesh", "rabbit")
+        assert warm.counters.get("memo.run.hit") == 1
+        assert warm.counters.get("memo.run.miss") == 0
+
+    def test_metrics_memo_counters(self, runner):
+        instr = Instrumentation(enabled=True)
+        with using(instr):
+            runner.matrix_metrics("test-mesh")
+            runner.matrix_metrics("test-mesh")
+        assert instr.counters.get("memo.metrics.miss") == 1
+        assert instr.counters.get("memo.metrics.hit") == 1
+
+    def test_stage_spans_recorded(self, runner):
+        instr = Instrumentation(enabled=True)
+        with using(instr):
+            runner.run("test-mesh", "degsort")
+        totals = instr.span_totals()
+        for stage in ("load", "reorder", "permute", "trace", "cache-sim", "perf-model"):
+            assert totals[stage].calls >= 1, stage
+            assert totals[stage].seconds >= 0.0
 
 
 class TestSerialization:

@@ -1,0 +1,267 @@
+"""Observability layer: spans, counters, sinks, progress, global state."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    CounterRegistry,
+    FakeClock,
+    Instrumentation,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    ProgressReporter,
+    configure,
+    format_span_totals,
+    get_obs,
+    reset,
+    using,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_obs():
+    reset()
+    yield
+    reset()
+
+
+class TestFakeClock:
+    def test_tick_advances_per_read(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert clock.now() == 10.0
+        assert clock.now() == 10.5
+
+    def test_advance(self):
+        clock = FakeClock()
+        clock.advance(3.0)
+        assert clock.now() == 3.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+
+class TestSpans:
+    def test_span_duration_from_injected_clock(self):
+        instr = Instrumentation(clock=FakeClock(tick=1.0))
+        with instr.span("work") as span:
+            pass
+        assert span.seconds == 1.0
+        assert span.status == "ok"
+
+    def test_nested_spans_build_paths(self):
+        sink = MemorySink()
+        instr = Instrumentation(sink=sink, clock=FakeClock(tick=1.0))
+        with instr.span("outer"):
+            with instr.span("inner") as inner:
+                pass
+        assert inner.path == "outer/inner"
+        paths = [e["path"] for e in sink.by_kind("span")]
+        assert paths == ["outer/inner", "outer"]  # children finish first
+
+    def test_exception_recorded_and_stack_popped(self):
+        sink = MemorySink()
+        instr = Instrumentation(sink=sink, clock=FakeClock(tick=1.0))
+        with pytest.raises(ValueError):
+            with instr.span("broken") as span:
+                raise ValueError("boom")
+        assert span.status == "error"
+        assert "ValueError" in span.error
+        # The stack unwound: the next span is a root again.
+        with instr.span("after") as after:
+            pass
+        assert after.path == "after"
+        event = sink.by_kind("span")[0]
+        assert event["status"] == "error"
+
+    def test_span_totals_aggregate_by_name(self):
+        instr = Instrumentation(clock=FakeClock(tick=2.0))
+        for _ in range(3):
+            with instr.span("stage"):
+                pass
+        totals = instr.span_totals()
+        assert totals["stage"].calls == 3
+        assert totals["stage"].seconds == 6.0
+
+    def test_thread_local_stacks(self):
+        instr = Instrumentation(clock=FakeClock(tick=0.0))
+        paths = []
+
+        def worker():
+            with instr.span("worker") as span:
+                paths.append(span.path)
+
+        with instr.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker thread does not inherit the main thread's stack.
+        assert paths == ["worker"]
+
+
+class TestDisabledMode:
+    def test_span_yields_none_and_emits_nothing(self):
+        sink = MemorySink()
+        instr = Instrumentation(sink=sink, enabled=False)
+        with instr.span("quiet") as span:
+            pass
+        assert span is None
+        assert sink.events == []
+        assert instr.span_totals() == {}
+
+    def test_counters_not_recorded(self):
+        instr = Instrumentation(enabled=False)
+        instr.counter("hits")
+        instr.gauge("depth", 3)
+        instr.add_counters({"a": 1})
+        snapshot = instr.counters.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}}
+
+    def test_flush_emits_nothing(self):
+        sink = MemorySink()
+        instr = Instrumentation(sink=sink, enabled=False)
+        instr.flush()
+        assert sink.events == []
+
+
+class TestCounters:
+    def test_add_and_snapshot(self):
+        registry = CounterRegistry()
+        registry.add("x")
+        registry.add("x", 4)
+        registry.add_many({"y": 2, "x": 1})
+        registry.set_gauge("depth", 7)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"x": 6, "y": 2}
+        assert snapshot["gauges"] == {"depth": 7}
+        assert registry.get("x") == 6
+        assert registry.gauge("depth") == 7
+
+    def test_reset(self):
+        registry = CounterRegistry()
+        registry.add("x")
+        registry.reset()
+        assert registry.get("x") == 0
+
+    def test_concurrent_adds(self):
+        registry = CounterRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.add("n")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.get("n") == 4000
+
+
+class TestJsonlSink:
+    def test_schema_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        instr = Instrumentation(
+            sink=JsonlSink(path=str(path)),
+            clock=FakeClock(tick=1.0),
+            run_id="testrun",
+            tags={"suite": "unit"},
+        )
+        with instr.span("stage", matrix="m1"):
+            pass
+        instr.counter("memo.run.hit", 2)
+        instr.flush()
+        instr.close()
+
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(events) == 2
+        span, counters = events
+        assert span["kind"] == "span"
+        assert span["name"] == "stage"
+        assert span["path"] == "stage"
+        assert span["seconds"] == 1.0
+        assert span["status"] == "ok"
+        assert span["run_id"] == "testrun"
+        assert span["tags"] == {"suite": "unit", "matrix": "m1"}
+        assert counters["kind"] == "counters"
+        assert counters["counters"] == {"memo.run.hit": 2}
+
+    def test_stream_mode_does_not_close_foreign_stream(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream=stream)
+        sink.emit({"kind": "span"})
+        sink.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"kind": "span"}
+
+    def test_requires_exactly_one_target(self):
+        with pytest.raises(ValueError):
+            JsonlSink()
+        with pytest.raises(ValueError):
+            JsonlSink(path="x", stream=io.StringIO())
+
+
+class TestGlobalState:
+    def test_default_is_disabled(self):
+        assert get_obs().enabled is False
+
+    def test_configure_and_reset(self):
+        instr = configure(sink=MemorySink())
+        assert get_obs() is instr
+        reset()
+        assert get_obs().enabled is False
+
+    def test_using_restores_previous(self):
+        scoped = Instrumentation(sink=MemorySink())
+        before = get_obs()
+        with using(scoped):
+            assert get_obs() is scoped
+        assert get_obs() is before
+
+    def test_using_restores_on_exception(self):
+        before = get_obs()
+        with pytest.raises(RuntimeError):
+            with using(Instrumentation()):
+                raise RuntimeError
+        assert get_obs() is before
+
+
+class TestProgress:
+    def test_non_tty_prints_one_line_per_update(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            3, label="sweep", stream=stream, clock=FakeClock(tick=1.0)
+        )
+        reporter.update("fig2")
+        reporter.update("fig3")
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "[1/3] sweep: fig2 (1.00s)"
+        assert lines[1] == "[2/3] sweep: fig3 (1.00s)"
+
+    def test_disabled_reporter_is_silent(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(3, stream=stream, enabled=False)
+        reporter.update("fig2")
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+
+class TestFormatSpanTotals:
+    def test_table_shape_and_shares(self):
+        instr = Instrumentation(clock=FakeClock(tick=1.0))
+        with instr.span("slow"):
+            with instr.span("fast"):
+                pass
+        text = format_span_totals(instr.span_totals(), total_seconds=4.0)
+        assert "stage" in text and "share" in text
+        slow_line = next(l for l in text.splitlines() if l.startswith("slow"))
+        assert "75.0%" in slow_line  # 3s of the 4s wall
+
+    def test_empty(self):
+        assert format_span_totals({}) == "(no spans recorded)"
