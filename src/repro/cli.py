@@ -139,7 +139,34 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render an ASCII bar chart over the first numeric column",
     )
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="precompute pipeline cells in N worker processes sharing "
+        "the memo directory (default: 1, fully sequential)",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    run_all = subparsers.add_parser(
+        "run-all", help="regenerate every paper artifact (all drivers)"
+    )
+    run_all.add_argument("--profile", default="full", choices=PROFILES)
+    run_all.add_argument(
+        "--figure",
+        action="store_true",
+        help="also render an ASCII bar chart over the first numeric column",
+    )
+    run_all.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="precompute pipeline cells in N worker processes sharing "
+        "the memo directory (default: 1, fully sequential)",
+    )
+    run_all.set_defaults(handler=_cmd_run_all)
 
     profile = subparsers.add_parser(
         "profile",
@@ -209,6 +236,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     names = sorted(DRIVERS) if args.name == "all" else [args.name]
     runner = ExperimentRunner(args.profile)
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        from repro.parallel import plan_cells, precompute
+
+        drivers = {n: DRIVERS.get(n) or ABLATIONS[n] for n in names}
+        n_cells = len(plan_cells(drivers, args.profile))
+        cell_progress = ProgressReporter(
+            n_cells, label="precompute", enabled=not args.quiet and n_cells > 0
+        )
+        precompute(drivers, runner, jobs, progress=cell_progress)
+        cell_progress.finish()
     progress = ProgressReporter(
         len(names), label="experiments", enabled=not args.quiet and len(names) > 1
     )
@@ -227,6 +265,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print("== where the time went ==")
         print(timing_summary())
     return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    """``repro run-all`` — every paper-artifact driver, optionally parallel."""
+    args.name = "all"
+    return _cmd_experiment(args)
 
 
 def _first_numeric_column(rows) -> Optional[int]:

@@ -34,3 +34,12 @@ class CorpusError(ReproError, KeyError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class ParallelExecutionError(ExperimentError):
+    """A worker process failed while precomputing a pipeline cell.
+
+    Raised by :mod:`repro.parallel` with the failing cell named in the
+    message; a crashed worker always fails the sweep loudly instead of
+    silently dropping its cell.
+    """

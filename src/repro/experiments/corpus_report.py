@@ -9,12 +9,18 @@ corpus profile, backed by the same cached metrics the experiments use.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import ExperimentRunner
-from repro.graphs.corpus import get_entry
+from repro.graphs.corpus import corpus_names, get_entry
 from repro.metrics.degree_stats import degree_statistics
+from repro.parallel.cells import Cell, metrics_cell
+
+
+def plan(profile: str = "full") -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    return [metrics_cell(matrix) for matrix in corpus_names(profile)]
 
 
 def run(

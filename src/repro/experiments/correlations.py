@@ -8,12 +8,14 @@ insularity and average community size normalized to node count
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.fig3 import INSULARITY_SPLIT
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
 from repro.metrics.correlation import pearson
+from repro.parallel.cells import Cell, metrics_cell
 
 PAPER = {
     "pearson_insularity_skew": -0.721,
@@ -26,6 +28,11 @@ PAPER = {
 #: are giant-community outliers (the paper excludes mawi on the same
 #: grounds before computing the community-size correlation).
 GIANT_COMMUNITY_THRESHOLD = 0.90
+
+
+def plan(profile: str = "full") -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    return [metrics_cell(matrix) for matrix in corpus_names(profile)]
 
 
 def run(

@@ -8,10 +8,12 @@ run-time means (6.21x / 1.96x / 2.17x / 1.94x / 1.56x / 1.54x ideal).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, run_cell
 
 TECHNIQUES = ("random", "original", "degsort", "dbg", "gorder", "rabbit")
 
@@ -31,6 +33,15 @@ PAPER_RUNTIME = {
     "gorder": 1.56,
     "rabbit": 1.54,
 }
+
+
+def plan(profile: str = "full", techniques: Sequence[str] = TECHNIQUES) -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    return [
+        run_cell(matrix, technique)
+        for matrix in corpus_names(profile)
+        for technique in techniques
+    ]
 
 
 def run(

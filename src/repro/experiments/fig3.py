@@ -8,10 +8,12 @@ giant-community exception despite its 0.988 insularity.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, metrics_cell, run_cell
 
 INSULARITY_SPLIT = 0.95
 
@@ -19,6 +21,15 @@ PAPER = {
     "mean_runtime_high_insularity": 1.26,
     "mean_runtime_low_insularity": 1.81,
 }
+
+
+def plan(profile: str = "full") -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    cells: List[Cell] = []
+    for matrix in corpus_names(profile):
+        cells.append(metrics_cell(matrix))
+        cells.append(run_cell(matrix, "rabbit"))
+    return cells
 
 
 def run(

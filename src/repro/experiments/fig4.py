@@ -8,11 +8,18 @@ exploitable even where RABBIT's aggregate benefit is small.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.fig3 import INSULARITY_SPLIT
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, metrics_cell
+
+
+def plan(profile: str = "full") -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    return [metrics_cell(matrix) for matrix in corpus_names(profile)]
 
 
 def run(

@@ -10,12 +10,23 @@ distinct-lines compulsory measurement does not have).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, metrics_cell, run_cell
 
 TECHNIQUE = "rabbit+insular"
+
+
+def plan(profile: str = "full") -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    cells: List[Cell] = []
+    for matrix in corpus_names(profile):
+        cells.append(metrics_cell(matrix))
+        cells.append(run_cell(matrix, TECHNIQUE, mask="insular"))
+    return cells
 
 
 def run(

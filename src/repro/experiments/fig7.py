@@ -8,11 +8,13 @@ counterparts are 1.57x max and 5.3% / 9.7% means.  For insularity >=
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.experiments.fig3 import INSULARITY_SPLIT
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, metrics_cell, run_cell
 
 PAPER = {
     "max_traffic_reduction": 1.56,
@@ -22,6 +24,16 @@ PAPER = {
     "mean_speedup_all": 1.053,
     "mean_speedup_low_ins": 1.097,
 }
+
+
+def plan(profile: str = "full") -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    cells: List[Cell] = []
+    for matrix in corpus_names(profile):
+        cells.append(metrics_cell(matrix))
+        cells.append(run_cell(matrix, "rabbit"))
+        cells.append(run_cell(matrix, "rabbit++"))
+    return cells
 
 
 def run(

@@ -8,14 +8,26 @@ best achievable locality for SpMV on the platform.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, run_cell
 
 TECHNIQUES = ("random", "original", "degsort", "dbg", "gorder", "rabbit", "rabbit++")
 
 PAPER = {"lru_over_belady_rabbit++": 1.076}
+
+
+def plan(profile: str = "full", techniques: Sequence[str] = TECHNIQUES) -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    return [
+        run_cell(matrix, technique, policy=policy)
+        for technique in techniques
+        for matrix in corpus_names(profile)
+        for policy in ("lru", "belady")
+    ]
 
 
 def run(

@@ -45,6 +45,13 @@ SWEEP_SIZES = {
 }
 
 
+def plan(profile: str = "full"):
+    """No shareable pipeline cells: the size sweep runs on generated
+    (non-corpus) graphs with its own ``fig9-*`` memo entries, so the
+    parallel executor has nothing to precompute here."""
+    return []
+
+
 def _sweep_graph(n: int) -> Graph:
     matrix = dcsbm(n, max(4, n // 256), 12.0, mu=0.3, theta_exponent=0.8, seed=9000 + n)
     return Graph(coo_to_csr(matrix))

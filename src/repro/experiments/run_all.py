@@ -27,6 +27,7 @@ from repro.experiments import (
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import ExperimentRunner
 from repro.obs import ProgressReporter, format_span_totals, get_obs, logger
+from repro.parallel import precompute
 
 DRIVERS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1.run,
@@ -76,14 +77,23 @@ def run_experiment(
 
 
 def run_all(
-    profile: str = "full", progress: Optional[ProgressReporter] = None
+    profile: str = "full",
+    progress: Optional[ProgressReporter] = None,
+    jobs: int = 1,
 ) -> List[ExperimentReport]:
     """Run every driver, sharing one runner (and its caches).
 
     Pass a :class:`ProgressReporter` to get per-driver progress lines;
     ``None`` keeps the sweep silent (the library default).
+
+    ``jobs > 1`` first precomputes every driver's pipeline cells in
+    that many worker processes sharing the on-disk memo (see
+    :mod:`repro.parallel`), then runs the drivers in-process as memo
+    hits; ``jobs=1`` is exactly the historical sequential path.
     """
     runner = ExperimentRunner(profile)
+    if jobs > 1:
+        precompute(DRIVERS, runner, jobs)
     reports = []
     for name in DRIVERS:
         reports.append(run_experiment(name, profile=profile, runner=runner))

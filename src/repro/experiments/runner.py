@@ -56,14 +56,25 @@ from repro.trace.kernel_traces import spmm_csr_trace, spmv_coo_trace, spmv_csr_t
 KERNELS = ("spmv-csr", "spmv-coo", "spmm-csr-4", "spmm-csr-256")
 MASKS = ("none", "insular")
 
-DEFAULT_CACHE_DIR = os.path.join(os.getcwd(), ".repro_cache")
+#: Default memo directory *name*, resolved against the working
+#: directory at call time (not import time) by :func:`resolve_cache_dir`.
+DEFAULT_CACHE_DIR = ".repro_cache"
 
 
 def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
-    """Explicit argument, else ``$REPRO_CACHE_DIR``, else the default."""
+    """Explicit argument, else ``$REPRO_CACHE_DIR``, else the default.
+
+    The default is resolved against the *current* working directory on
+    every call, so a ``chdir`` after import (pytest tmp dirs, pool
+    workers, long-lived services) does not silently pin the memo to the
+    import-time directory.
+    """
     if cache_dir is not None:
         return cache_dir
-    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.getcwd(), DEFAULT_CACHE_DIR)
 
 
 @dataclass
@@ -138,6 +149,7 @@ class ExperimentRunner:
         self.schedule = schedule
         self._permutations: Dict[Tuple[str, str], TimedReordering] = {}
         self._graphs: Dict[str, Graph] = {}
+        self._detections: Dict[str, object] = {}
 
     # -- corpus ---------------------------------------------------------
 
@@ -170,12 +182,28 @@ class ExperimentRunner:
             return cached
         return self.permutation(matrix, technique).seconds
 
+    # -- community detection --------------------------------------------
+
+    def detection(self, matrix: str):
+        """RABBIT community detection, memoized per matrix.
+
+        Detection is the most expensive pipeline stage and backs both
+        :meth:`matrix_metrics` and the insular mask, so it must run at
+        most once per matrix per runner — not once per masked
+        (kernel, policy) cell.
+        """
+        if matrix not in self._detections:
+            graph = self.graph(matrix)
+            with get_obs().span("detect", matrix=matrix):
+                self._detections[matrix] = RabbitOrder().detect(graph)
+        return self._detections[matrix]
+
     # -- metrics --------------------------------------------------------
 
     def matrix_metrics(self, matrix: str) -> MatrixMetrics:
         """Insularity/skew/community statistics (RABBIT detection)."""
         obs = get_obs()
-        path = self._cache_path("metrics", matrix)
+        path = self.metrics_cache_path(matrix)
         if self.use_cache and os.path.exists(path):
             obs.counter("memo.metrics.hit")
             with obs.span("memo-load", kind="metrics", matrix=matrix):
@@ -184,8 +212,7 @@ class ExperimentRunner:
         obs.counter("memo.metrics.miss")
         graph = self.graph(matrix)
         with obs.span("metrics", matrix=matrix):
-            detection = RabbitOrder().detect(graph)
-            assignment = detection.assignment
+            assignment = self.detection(matrix).assignment
             stats = community_size_stats(assignment)
             metrics = MatrixMetrics(
                 matrix=matrix,
@@ -219,10 +246,7 @@ class ExperimentRunner:
         if mask not in MASKS:
             raise ValidationError(f"mask must be one of {MASKS}, got {mask!r}")
         obs = get_obs()
-        cache_key = self._cache_path(
-            "run",
-            f"{self.platform.name}|{self.schedule}|{matrix}|{technique}|{kernel}|{policy}|{mask}",
-        )
+        cache_key = self.run_cache_path(matrix, technique, kernel, policy, mask)
         if self.use_cache and os.path.exists(cache_key):
             obs.counter("memo.run.hit")
             logger.debug(
@@ -275,8 +299,7 @@ class ExperimentRunner:
     ):
         """Keep only non-zeros connecting to insular nodes (Figure 6)."""
         graph = self.graph(matrix)
-        detection = RabbitOrder().detect(graph)
-        mask_original_ids = insular_mask(graph, detection.assignment)
+        mask_original_ids = insular_mask(graph, self.detection(matrix).assignment)
         mask_new_ids = np.zeros_like(mask_original_ids)
         mask_new_ids[permutation] = mask_original_ids
         return restrict_to_nodes(permuted, mask_new_ids, mode="either")
@@ -315,6 +338,24 @@ class ExperimentRunner:
         return spmm_csr_trace(permuted, k=256, line_bytes=line_bytes)
 
     # -- cache plumbing --------------------------------------------------
+
+    def run_cache_path(
+        self,
+        matrix: str,
+        technique: str,
+        kernel: str = "spmv-csr",
+        policy: str = "lru",
+        mask: str = "none",
+    ) -> str:
+        """Memo file of one simulated cell (shared with repro.parallel)."""
+        return self._cache_path(
+            "run",
+            f"{self.platform.name}|{self.schedule}|{matrix}|{technique}|{kernel}|{policy}|{mask}",
+        )
+
+    def metrics_cache_path(self, matrix: str) -> str:
+        """Memo file of one matrix's structure metrics."""
+        return self._cache_path("metrics", matrix)
 
     def _cache_path(self, kind: str, key: str) -> str:
         digest = hashlib.sha1(f"{kind}|{key}".encode("utf-8")).hexdigest()[:20]

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.fig3 import INSULARITY_SPLIT
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, metrics_cell, run_cell
 
 #: (row label, registry technique name) per design-space cell.
 CELLS: Tuple[Tuple[str, str, str], ...] = (
@@ -38,6 +40,16 @@ PAPER = {
     "RABBIT+HUBGROUP|without-insular": (1.48, 1.65, 1.29),
     "RABBIT+HUBGROUP|with-insular": (1.46, 1.65, 1.25),
 }
+
+
+def plan(profile: str = "full") -> "List[Cell]":
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    cells: List[Cell] = []
+    for matrix in corpus_names(profile):
+        cells.append(metrics_cell(matrix))
+        for _, _, technique in CELLS:
+            cells.append(run_cell(matrix, technique))
+    return cells
 
 
 def run(

@@ -8,10 +8,12 @@ wastes the least L2 capacity.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, run_cell
 
 TECHNIQUES = ("random", "original", "degsort", "dbg", "gorder", "rabbit", "rabbit++")
 
@@ -24,6 +26,15 @@ PAPER = {
     "rabbit": 0.2225,
     "rabbit++": 0.1637,
 }
+
+
+def plan(profile: str = "full", techniques: Sequence[str] = TECHNIQUES) -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    return [
+        run_cell(matrix, technique)
+        for technique in techniques
+        for matrix in corpus_names(profile)
+    ]
 
 
 def run(

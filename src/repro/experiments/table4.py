@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.fig3 import INSULARITY_SPLIT
 from repro.experiments.report import ExperimentReport, arithmetic_mean
 from repro.experiments.runner import ExperimentRunner
+from repro.graphs.corpus import corpus_names
+from repro.parallel.cells import Cell, metrics_cell, run_cell
 
 KERNELS = ("spmv-coo", "spmm-csr-4", "spmm-csr-256")
 TECHNIQUES = ("random", "original", "rabbit", "rabbit++")
@@ -37,6 +39,20 @@ PAPER = {
     ("spmm-csr-256", "rabbit"): (20.32, 50.3, 3.91),
     ("spmm-csr-256", "rabbit++"): (18.7, 43.97, 3.95),
 }
+
+
+def plan(
+    profile: str = "full",
+    kernels: Sequence[str] = KERNELS,
+    techniques: Sequence[str] = TECHNIQUES,
+) -> List[Cell]:
+    """Pipeline cells :func:`run` will request (see repro.parallel)."""
+    cells: List[Cell] = [metrics_cell(matrix) for matrix in corpus_names(profile)]
+    for kernel in kernels:
+        for technique in techniques:
+            for matrix in corpus_names(profile):
+                cells.append(run_cell(matrix, technique, kernel=kernel))
+    return cells
 
 
 def run(

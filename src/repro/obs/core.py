@@ -141,6 +141,29 @@ class Instrumentation:
                 for name, total in self._agg.items()
             }
 
+    def merge_span_totals(
+        self, totals: Mapping[str, "SpanTotal | tuple"]
+    ) -> None:
+        """Fold another instrumentation's span aggregates into this one.
+
+        Accepts :class:`SpanTotal` values or plain ``(calls, seconds)``
+        tuples — the wire format worker processes ship back to the
+        parent (see :mod:`repro.parallel`).  No-op when disabled, like
+        every other recording method.
+        """
+        if not self.enabled:
+            return
+        with self._agg_lock:
+            for name, value in totals.items():
+                calls, seconds = (
+                    (value.calls, value.seconds)
+                    if isinstance(value, SpanTotal)
+                    else value
+                )
+                total = self._agg.setdefault(name, SpanTotal())
+                total.calls += int(calls)
+                total.seconds += float(seconds)
+
     # -- counters -------------------------------------------------------
 
     def counter(self, name: str, value: float = 1) -> None:

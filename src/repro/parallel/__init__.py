@@ -1,0 +1,46 @@
+"""repro.parallel — multicore precomputation of experiment sweeps.
+
+The paper's artifacts decompose into thousands of independent
+``(matrix, technique, kernel, policy, mask)`` pipeline cells, all
+memoized as JSON files by :class:`ExperimentRunner`.  This package
+enumerates the cells a set of drivers will request
+(:mod:`~repro.parallel.planner`), precomputes them in ``N`` worker
+processes sharing that on-disk memo (:mod:`~repro.parallel.executor`),
+and merges worker-side observability back into the parent — after
+which the drivers themselves replay the sweep as pure memo hits.
+
+Entry points: ``run_all(jobs=N)``, ``repro run-all --jobs N`` and
+``repro experiment <name> --jobs N``; ``jobs=1`` preserves the
+in-process sequential path exactly.
+"""
+
+from repro.parallel.cells import (
+    METRICS,
+    RUN,
+    Cell,
+    dedupe_cells,
+    metrics_cell,
+    run_cell,
+)
+from repro.parallel.executor import (
+    ParallelStats,
+    RunnerConfig,
+    execute_cells,
+    precompute,
+)
+from repro.parallel.planner import driver_plan, plan_cells
+
+__all__ = [
+    "METRICS",
+    "RUN",
+    "Cell",
+    "ParallelStats",
+    "RunnerConfig",
+    "dedupe_cells",
+    "driver_plan",
+    "execute_cells",
+    "metrics_cell",
+    "plan_cells",
+    "precompute",
+    "run_cell",
+]

@@ -1,0 +1,76 @@
+"""Picklable descriptions of the pipeline cells an experiment needs.
+
+A *cell* is the unit of memoizable work behind the experiment drivers:
+either one simulated kernel run — a ``(matrix, technique, kernel,
+policy, mask)`` tuple fed to :meth:`ExperimentRunner.run` — or the
+RABBIT-detection structure metrics of one matrix
+(:meth:`ExperimentRunner.matrix_metrics`).  Cells are frozen
+dataclasses so they hash (for de-duplication) and pickle (for process
+pools) without ceremony.
+
+Driver modules advertise the cells their ``run()`` will request via a
+module-level ``plan(profile)`` hook returning a list of cells; see
+:mod:`repro.parallel.planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+RUN = "run"
+METRICS = "metrics"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One memoizable unit of pipeline work.
+
+    ``kind`` is either :data:`RUN` (a simulated kernel run) or
+    :data:`METRICS` (matrix structure metrics); the remaining fields
+    only matter for :data:`RUN` cells.
+    """
+
+    kind: str
+    matrix: str
+    technique: str = ""
+    kernel: str = "spmv-csr"
+    policy: str = "lru"
+    mask: str = "none"
+
+    def label(self) -> str:
+        """Short human-readable identity for progress lines and errors."""
+        if self.kind == METRICS:
+            return f"metrics:{self.matrix}"
+        return f"{self.matrix}/{self.technique}/{self.kernel}/{self.policy}/{self.mask}"
+
+
+def run_cell(
+    matrix: str,
+    technique: str,
+    kernel: str = "spmv-csr",
+    policy: str = "lru",
+    mask: str = "none",
+) -> Cell:
+    """Cell for one :meth:`ExperimentRunner.run` invocation."""
+    return Cell(RUN, matrix, technique, kernel, policy, mask)
+
+
+def metrics_cell(matrix: str) -> Cell:
+    """Cell for one :meth:`ExperimentRunner.matrix_metrics` invocation."""
+    return Cell(METRICS, matrix)
+
+
+def dedupe_cells(cells: Iterable[Cell]) -> List[Cell]:
+    """Drop duplicate cells, keeping first-seen order.
+
+    This is what guarantees two pool workers never simulate the same
+    memo key: every distinct cell is submitted exactly once.
+    """
+    seen = set()
+    unique: List[Cell] = []
+    for cell in cells:
+        if cell not in seen:
+            seen.add(cell)
+            unique.append(cell)
+    return unique

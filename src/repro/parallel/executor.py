@@ -1,0 +1,305 @@
+"""Process-pool execution of pipeline cells against a shared memo.
+
+The executor makes a whole experiment sweep multicore without touching
+driver logic: it precomputes every planned cell in ``jobs`` worker
+processes, each writing its result into the same on-disk JSON memo the
+sequential path uses (``os.replace`` makes those writes atomic, so
+workers race safely).  Afterwards the drivers run unchanged in the
+parent and find every cell already memoized — which is also the core
+correctness invariant: the parallel path must produce byte-identical
+``RunRecord`` / ``MatrixMetrics`` JSON to the sequential path.
+
+De-duplication happens *before* submission (:func:`dedupe_cells`), so
+no two workers ever simulate the same memo key; cells whose memo file
+already exists are skipped entirely.  Cells sharing a ``(matrix,
+technique)`` pair are grouped into one worker task: the reordering
+permutation is memoized only in-process (spans show it at ~50% of
+pipeline time), so scattering those cells across workers would
+recompute it per worker — grouping runs it exactly once, like the
+sequential path.
+
+Observability: each worker runs its cell under a private, enabled
+:class:`Instrumentation` and ships the resulting counters and span
+totals back with the result; the parent folds them into its own
+instrumentation (:meth:`Instrumentation.merge_span_totals` /
+``add_counters``) so ``repro profile`` and ``repro cache-stats`` stay
+truthful under parallelism.
+
+Workers are spawned (not forked) so the path behaves identically on
+Linux, macOS and Windows and never inherits parent threads mid-state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ParallelExecutionError, ValidationError
+from repro.experiments.runner import ExperimentRunner
+from repro.gpu.specs import PlatformSpec
+from repro.obs import Clock, Instrumentation, ProgressReporter, get_obs, logger, using
+from repro.parallel.cells import METRICS, Cell, dedupe_cells
+from repro.parallel.planner import plan_cells
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Picklable construction recipe for an :class:`ExperimentRunner`.
+
+    Workers rebuild their runner from this, so parent and workers agree
+    on profile, memo directory, schedule and platform — and therefore
+    on every memo key.
+    """
+
+    profile: str
+    cache_dir: str
+    use_cache: bool = True
+    schedule: str = "sequential"
+    platform: Optional[PlatformSpec] = None
+
+    @classmethod
+    def from_runner(cls, runner: ExperimentRunner) -> "RunnerConfig":
+        return cls(
+            profile=runner.profile,
+            cache_dir=runner.cache_dir,
+            use_cache=runner.use_cache,
+            schedule=runner.schedule,
+            platform=runner.platform,
+        )
+
+    def make_runner(self) -> ExperimentRunner:
+        return ExperimentRunner(
+            profile=self.profile,
+            platform=self.platform,
+            cache_dir=self.cache_dir,
+            use_cache=self.use_cache,
+            schedule=self.schedule,
+        )
+
+
+@dataclass
+class ParallelStats:
+    """What one :func:`execute_cells` call did."""
+
+    planned: int = 0
+    executed: int = 0
+    skipped: int = 0
+    jobs: int = 1
+
+
+#: Per-worker-process state: the shared runner (so graphs and
+#: permutations memoize across the cells one worker handles) and the
+#: injectable clock for deterministic-timing runs.
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(config: RunnerConfig, clock: Optional[Clock]) -> None:
+    _WORKER["runner"] = config.make_runner()
+    _WORKER["clock"] = clock
+
+
+def _execute_one(runner: ExperimentRunner, cell: Cell) -> None:
+    if cell.kind == METRICS:
+        runner.matrix_metrics(cell.matrix)
+    else:
+        runner.run(
+            cell.matrix,
+            cell.technique,
+            kernel=cell.kernel,
+            policy=cell.policy,
+            mask=cell.mask,
+        )
+
+
+class _CellFailure(Exception):
+    """Pickles a failing cell's identity across the process boundary."""
+
+    def __init__(self, label: str, detail: str):
+        super().__init__(label, detail)
+        self.label = label
+        self.detail = detail
+
+
+def _group_key(cell: Cell) -> Tuple[str, str]:
+    # Cells sharing (matrix, technique) share the expensive in-process
+    # reorder memo; metrics cells (technique == "") group per matrix.
+    return (cell.matrix, cell.technique)
+
+
+def _group_cells(cells: List[Cell]) -> List[Tuple[Cell, ...]]:
+    groups: Dict[Tuple[str, str], List[Cell]] = {}
+    for cell in cells:
+        groups.setdefault(_group_key(cell), []).append(cell)
+    return [tuple(group) for group in groups.values()]
+
+
+def _run_group(
+    cells: Tuple[Cell, ...],
+) -> Tuple[List[str], Dict[str, float], Dict[str, Tuple[int, float]]]:
+    """Worker entry point: simulate one cell group into the shared memo.
+
+    Returns the completed cell labels plus the counter and span-total
+    deltas the group caused, measured by a fresh per-group
+    instrumentation.
+    """
+    runner: ExperimentRunner = _WORKER["runner"]  # type: ignore[assignment]
+    instr = Instrumentation(clock=_WORKER.get("clock"), enabled=True)  # type: ignore[arg-type]
+    done: List[str] = []
+    with using(instr):
+        for cell in cells:
+            try:
+                _execute_one(runner, cell)
+            except Exception as exc:
+                raise _CellFailure(
+                    cell.label(), f"{type(exc).__name__}: {exc}"
+                ) from exc
+            done.append(cell.label())
+    counters = instr.counters.snapshot()["counters"]
+    spans = {
+        name: (total.calls, total.seconds)
+        for name, total in instr.span_totals().items()
+    }
+    return done, counters, spans
+
+
+def _cell_memo_path(runner: ExperimentRunner, cell: Cell) -> str:
+    if cell.kind == METRICS:
+        return runner.metrics_cache_path(cell.matrix)
+    return runner.run_cache_path(
+        cell.matrix, cell.technique, cell.kernel, cell.policy, cell.mask
+    )
+
+
+def execute_cells(
+    cells: List[Cell],
+    config: RunnerConfig,
+    jobs: int,
+    worker_clock: Optional[Clock] = None,
+    progress: Optional[ProgressReporter] = None,
+) -> ParallelStats:
+    """Precompute ``cells`` into the shared memo with ``jobs`` workers.
+
+    ``jobs <= 1`` executes in-process (no pool, no spawning) — the same
+    code path a sequential driver run would take.  Any worker failure
+    raises :class:`ParallelExecutionError` naming the cell; cells are
+    never silently dropped.  ``worker_clock`` injects a deterministic
+    clock into the workers (tests use a zero-tick
+    :class:`~repro.obs.FakeClock` so timing fields memoize
+    byte-identically across process counts).
+    """
+    if jobs < 1:
+        raise ValidationError(f"jobs must be >= 1, got {jobs}")
+    cells = dedupe_cells(cells)
+    obs = get_obs()
+    runner = config.make_runner()
+    stats = ParallelStats(planned=len(cells), jobs=jobs)
+
+    if not config.use_cache:
+        # Workers could not share results through the memo; running the
+        # pool would simulate everything and throw it away.
+        logger.warning(
+            "parallel precompute skipped: memoization is disabled "
+            "(use_cache=False), cells will compute in-process on demand"
+        )
+        return stats
+
+    pending = []
+    for cell in cells:
+        if os.path.exists(_cell_memo_path(runner, cell)):
+            stats.skipped += 1
+        else:
+            pending.append(cell)
+    obs.counter("parallel.cells.planned", stats.planned)
+    obs.counter("parallel.cells.skipped", stats.skipped)
+    if not pending:
+        return stats
+
+    if jobs == 1:
+        with using(Instrumentation(clock=worker_clock, enabled=True)) as instr:
+            for cell in pending:
+                _execute_one(runner, cell)
+                stats.executed += 1
+                if progress is not None:
+                    progress.update(cell.label())
+        obs.add_counters(instr.counters.snapshot()["counters"])
+        obs.merge_span_totals(
+            {n: (t.calls, t.seconds) for n, t in instr.span_totals().items()}
+        )
+        obs.counter("parallel.cells.executed", stats.executed)
+        return stats
+
+    # Spawned workers re-import repro; keep the pool no wider than the
+    # work list so tiny sweeps don't pay for idle interpreters.
+    groups = _group_cells(pending)
+    context = multiprocessing.get_context("spawn")
+    n_workers = min(jobs, len(groups))
+    logger.info(
+        "parallel precompute: %d cells in %d groups "
+        "(%d already memoized) on %d workers",
+        len(pending),
+        len(groups),
+        stats.skipped,
+        n_workers,
+    )
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(config, worker_clock),
+    ) as pool:
+        futures = {pool.submit(_run_group, group): group for group in groups}
+        for future in as_completed(futures):
+            group = futures[future]
+            try:
+                done, counters, spans = future.result()
+            except BaseException as exc:
+                for other in futures:
+                    other.cancel()
+                if isinstance(exc, _CellFailure):
+                    message = f"worker failed on cell {exc.label}: {exc.detail}"
+                else:
+                    message = (
+                        f"worker failed on cell {group[0].label()}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                raise ParallelExecutionError(message) from exc
+            obs.add_counters(counters)
+            obs.merge_span_totals(spans)
+            stats.executed += len(done)
+            if progress is not None:
+                for label in done:
+                    progress.update(label)
+    obs.counter("parallel.cells.executed", stats.executed)
+    return stats
+
+
+def precompute(
+    drivers: Mapping[str, Callable[..., object]],
+    runner: ExperimentRunner,
+    jobs: int,
+    worker_clock: Optional[Clock] = None,
+    progress: Optional[ProgressReporter] = None,
+) -> ParallelStats:
+    """Plan every driver's cells and execute them with ``jobs`` workers.
+
+    After this returns, running the drivers against ``runner`` (or any
+    runner sharing its memo directory) replays the sweep as memo hits.
+    """
+    cells = plan_cells(drivers, runner.profile)
+    stats = execute_cells(
+        cells,
+        RunnerConfig.from_runner(runner),
+        jobs,
+        worker_clock=worker_clock,
+        progress=progress,
+    )
+    logger.info(
+        "parallel precompute done: %d executed, %d already memoized, %d planned",
+        stats.executed,
+        stats.skipped,
+        stats.planned,
+    )
+    return stats

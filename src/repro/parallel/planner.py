@@ -1,0 +1,41 @@
+"""Enumerate the pipeline cells a set of experiment drivers will need.
+
+Each driver module may expose a ``plan(profile) -> List[Cell]`` hook
+describing the ``runner.run`` / ``runner.matrix_metrics`` calls its
+``run()`` performs.  The planner collects those hooks and de-duplicates
+the union (fig7 and fig8 both want ``(m, "rabbit", spmv-csr, lru)``,
+for example), producing the work list for
+:func:`repro.parallel.executor.execute_cells`.
+
+Drivers without a hook (table1 renders static specs; fig9 runs a
+generated-size sweep with its own memo) simply contribute no cells —
+their ``run()`` still executes in the parent process, so correctness
+never depends on a complete plan: a missed cell is computed
+sequentially on first request, exactly as before.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List, Mapping
+
+from repro.parallel.cells import Cell, dedupe_cells
+
+
+def driver_plan(driver: Callable[..., object], profile: str) -> List[Cell]:
+    """Cells one driver's ``run()`` will request (empty without a hook)."""
+    module = sys.modules.get(driver.__module__)
+    hook = getattr(module, "plan", None)
+    if hook is None:
+        return []
+    return list(hook(profile))
+
+
+def plan_cells(
+    drivers: Mapping[str, Callable[..., object]], profile: str
+) -> List[Cell]:
+    """De-duplicated union of every driver's planned cells."""
+    cells: List[Cell] = []
+    for driver in drivers.values():
+        cells.extend(driver_plan(driver, profile))
+    return dedupe_cells(cells)

@@ -157,12 +157,15 @@ def spmv_coo_trace(
     x = space.allocate("x", matrix.n_cols, element_bytes)
     y = space.allocate("y", n, element_bytes)
 
+    # The kernel walks entries in row-sorted order (identity for an
+    # already-sorted COO); *every* region must be indexed by that same
+    # walk — the stream reads address position order[i] of the arrays
+    # as laid out, and the x/y accesses belong to that same entry.
     order = np.argsort(matrix.rows, kind="stable")
     out = np.empty(5 * nnz, dtype=np.int64)
-    entries = np.arange(nnz, dtype=np.int64)
-    out[0::5] = rows.lines_of(entries)
-    out[1::5] = cols.lines_of(entries)
-    out[2::5] = vals.lines_of(entries)
+    out[0::5] = rows.lines_of(order)
+    out[1::5] = cols.lines_of(order)
+    out[2::5] = vals.lines_of(order)
     out[3::5] = x.lines_of(matrix.cols[order])
     out[4::5] = y.lines_of(matrix.rows[order])
 

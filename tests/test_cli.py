@@ -100,3 +100,37 @@ class TestObservabilityCli:
     def test_quiet_flag_accepted_without_observability(self, capsys):
         assert main(["--quiet", "techniques"]) == 0
         assert "rabbit++" in capsys.readouterr().out
+
+
+class TestParallelCli:
+    def test_experiment_jobs_flag_precomputes_then_replays(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """--jobs 2 must produce the normal report, with every cell
+        precomputed into the shared memo by the worker pool."""
+        memo = tmp_path / "memo"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(memo))
+        assert main(
+            ["--quiet", "experiment", "fig3", "--profile", "test", "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        run_files = [f for f in memo.iterdir() if f.name.startswith("run-")]
+        assert len(run_files) == 6  # one rabbit spmv-csr cell per test matrix
+
+    def test_experiment_jobs_default_is_sequential(self, tmp_path, monkeypatch):
+        import repro.parallel.executor as executor
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("--jobs 1 must not spawn a pool")
+
+        monkeypatch.setattr(executor, "ProcessPoolExecutor", forbidden)
+        assert main(["--quiet", "experiment", "fig4", "--profile", "test"]) == 0
+
+    def test_run_all_parser_wired(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run-all", "--help"])
+        out = capsys.readouterr().out
+        assert "--jobs" in out

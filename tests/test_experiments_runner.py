@@ -3,7 +3,6 @@
 import json
 import os
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError
@@ -100,6 +99,32 @@ class TestMetrics:
         assert seconds >= 0.0
 
 
+class TestDetectionMemo:
+    def test_detection_runs_once_per_matrix(self, runner, monkeypatch):
+        """Regression: every masked (kernel, policy) cell used to rerun
+        RABBIT detection — the most expensive pipeline stage.  The
+        'original' technique computes no detection of its own, so every
+        call observed here comes from metrics or the insular mask."""
+        from repro.reorder.rabbit import RabbitOrder
+
+        calls = []
+        original_detect = RabbitOrder.detect
+
+        def counting_detect(self, graph, *args, **kwargs):
+            calls.append(1)
+            return original_detect(self, graph, *args, **kwargs)
+
+        monkeypatch.setattr(RabbitOrder, "detect", counting_detect)
+        runner.matrix_metrics("test-comm")
+        runner.run("test-comm", "original", mask="insular")
+        runner.run("test-comm", "original", kernel="spmv-coo", mask="insular")
+        runner.run("test-comm", "original", policy="belady", mask="insular")
+        assert len(calls) == 1
+
+    def test_detection_object_memoized(self, runner):
+        assert runner.detection("test-mesh") is runner.detection("test-mesh")
+
+
 class TestCacheDir:
     def test_env_var_redirects_cache(self, tmp_path, monkeypatch):
         target = tmp_path / "redirected"
@@ -116,11 +141,25 @@ class TestCacheDir:
 
     def test_default_without_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
-        assert resolve_cache_dir() == DEFAULT_CACHE_DIR
+        assert resolve_cache_dir() == os.path.join(os.getcwd(), DEFAULT_CACHE_DIR)
 
     def test_empty_env_falls_back_to_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", "")
-        assert resolve_cache_dir() == DEFAULT_CACHE_DIR
+        assert resolve_cache_dir() == os.path.join(os.getcwd(), DEFAULT_CACHE_DIR)
+
+    def test_default_follows_chdir(self, tmp_path, monkeypatch):
+        """Regression: the default used to be frozen to the cwd at
+        import time, so a later chdir silently wrote the memo into the
+        old directory."""
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        first.mkdir()
+        second.mkdir()
+        monkeypatch.chdir(first)
+        assert resolve_cache_dir() == str(first / DEFAULT_CACHE_DIR)
+        monkeypatch.chdir(second)
+        assert resolve_cache_dir() == str(second / DEFAULT_CACHE_DIR)
 
 
 class TestWriteJson:

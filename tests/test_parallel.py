@@ -1,0 +1,277 @@
+"""repro.parallel: planning, pool execution, and sequential equivalence.
+
+The core invariant: precomputing cells with ``jobs=N`` must leave the
+on-disk memo byte-identical to the sequential path, so the drivers
+replaying the sweep produce the same ``RunRecord``s either way.  Both
+sides run under a zero-tick :class:`FakeClock` so the one
+nondeterministic field (``reorder_seconds``) memoizes identically.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ParallelExecutionError, ValidationError
+from repro.experiments import fig3, fig6
+from repro.experiments.run_all import DRIVERS
+from repro.experiments.runner import ExperimentRunner
+from repro.obs import FakeClock, Instrumentation, using
+from repro.parallel import (
+    RunnerConfig,
+    dedupe_cells,
+    driver_plan,
+    execute_cells,
+    metrics_cell,
+    plan_cells,
+    run_cell,
+)
+
+#: Drivers used for the (relatively) expensive equivalence tests; kept
+#: small so the suite stays fast — fig3 covers metrics + run cells.
+EQUIVALENCE_DRIVERS = {"fig3": fig3.run}
+
+
+def read_cache(cache_dir):
+    """{filename: bytes} of every memo file in the directory."""
+    return {
+        name: open(os.path.join(cache_dir, name), "rb").read()
+        for name in sorted(os.listdir(cache_dir))
+    }
+
+
+class TestCells:
+    def test_dedupe_keeps_first_seen_order(self):
+        a = run_cell("m1", "rabbit")
+        b = metrics_cell("m1")
+        assert dedupe_cells([a, b, a, b, a]) == [a, b]
+
+    def test_cells_hash_and_pickle(self):
+        import pickle
+
+        cell = run_cell("m", "rabbit", kernel="spmv-coo", policy="belady")
+        assert pickle.loads(pickle.dumps(cell)) == cell
+        assert len({cell, run_cell("m", "rabbit", kernel="spmv-coo", policy="belady")}) == 1
+
+    def test_labels(self):
+        assert metrics_cell("m").label() == "metrics:m"
+        assert run_cell("m", "t").label() == "m/t/spmv-csr/lru/none"
+
+
+class TestPlanner:
+    def test_every_paper_driver_is_planned_or_exempt(self):
+        # table1 (static specs) and fig9 (generated-size sweep) plan
+        # zero cells; every other paper driver must contribute.
+        empty_ok = {"table1", "fig9"}
+        for name, driver in DRIVERS.items():
+            cells = driver_plan(driver, "test")
+            if name in empty_ok:
+                assert cells == []
+            else:
+                assert cells, f"driver {name} planned no cells"
+
+    def test_plan_cells_deduplicates_across_drivers(self):
+        cells = plan_cells(DRIVERS, "test")
+        assert len(cells) == len(set(cells))
+        # fig3, fig7, table2 all want (matrix, rabbit, spmv-csr, lru):
+        # it must appear exactly once.
+        rabbit_cells = [
+            c for c in cells
+            if c.kind == "run" and c.technique == "rabbit"
+            and c.kernel == "spmv-csr" and c.policy == "lru" and c.mask == "none"
+        ]
+        matrices = [c.matrix for c in rabbit_cells]
+        assert len(matrices) == len(set(matrices))
+
+    def test_plan_matches_actual_requests(self, tmp_path):
+        """The plan hook must cover exactly what run() requests."""
+
+        requested = []
+
+        class RecordingRunner(ExperimentRunner):
+            def run(self, matrix, technique, kernel="spmv-csr", policy="lru",
+                    mask="none"):
+                requested.append(run_cell(matrix, technique, kernel, policy, mask))
+                return super().run(matrix, technique, kernel=kernel,
+                                   policy=policy, mask=mask)
+
+            def matrix_metrics(self, matrix):
+                requested.append(metrics_cell(matrix))
+                return super().matrix_metrics(matrix)
+
+        runner = RecordingRunner(profile="test", cache_dir=str(tmp_path / "memo"))
+        fig6.run(profile="test", runner=runner)
+        assert set(driver_plan(fig6.run, "test")) == set(requested)
+
+
+class TestExecutor:
+    def test_rejects_zero_jobs(self, tmp_path):
+        with pytest.raises(ValidationError):
+            execute_cells([], RunnerConfig("test", str(tmp_path)), jobs=0)
+
+    def test_jobs1_never_builds_a_pool(self, tmp_path, monkeypatch):
+        import repro.parallel.executor as executor
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("jobs=1 must not spawn a process pool")
+
+        monkeypatch.setattr(executor, "ProcessPoolExecutor", forbidden)
+        stats = execute_cells(
+            [metrics_cell("test-mesh")],
+            RunnerConfig("test", str(tmp_path / "memo")),
+            jobs=1,
+        )
+        assert stats.executed == 1
+
+    def test_use_cache_false_skips_precompute(self, tmp_path):
+        stats = execute_cells(
+            [metrics_cell("test-mesh")],
+            RunnerConfig("test", str(tmp_path / "memo"), use_cache=False),
+            jobs=2,
+        )
+        assert stats.executed == 0
+        assert not os.path.exists(str(tmp_path / "memo"))
+
+    def test_already_memoized_cells_are_skipped(self, tmp_path):
+        config = RunnerConfig("test", str(tmp_path / "memo"))
+        cells = [metrics_cell("test-mesh"), run_cell("test-mesh", "original")]
+        first = execute_cells(cells, config, jobs=1)
+        assert (first.executed, first.skipped) == (2, 0)
+        second = execute_cells(cells, config, jobs=1)
+        assert (second.executed, second.skipped) == (0, 2)
+
+    def test_worker_crash_fails_loudly(self, tmp_path):
+        bogus = metrics_cell("no-such-matrix")
+        with pytest.raises(ParallelExecutionError, match="no-such-matrix"):
+            execute_cells(
+                [bogus], RunnerConfig("test", str(tmp_path / "memo")), jobs=2
+            )
+
+    def test_cells_sharing_permutation_group_into_one_task(self):
+        from repro.parallel.executor import _group_cells
+
+        cells = [
+            run_cell("m1", "rabbit"),
+            run_cell("m1", "rabbit", policy="belady"),
+            run_cell("m1", "degsort"),
+            metrics_cell("m1"),
+            run_cell("m2", "rabbit"),
+        ]
+        groups = _group_cells(cells)
+        assert [len(g) for g in groups] == [2, 1, 1, 1]
+        assert groups[0] == (cells[0], cells[1])
+
+    def test_grouping_reorders_once_per_matrix_technique(self, tmp_path):
+        """Two cells sharing (matrix, technique) land in one worker, so
+        the expensive permutation computes exactly once — same as the
+        sequential path."""
+        cells = [
+            run_cell("test-mesh", "degsort"),
+            run_cell("test-mesh", "degsort", policy="belady"),
+        ]
+        instr = Instrumentation(enabled=True)
+        with using(instr):
+            stats = execute_cells(
+                cells, RunnerConfig("test", str(tmp_path / "memo")), jobs=2
+            )
+        assert stats.executed == 2
+        assert instr.span_totals()["reorder"].calls == 1
+
+    def test_counters_and_spans_merge_into_parent(self, tmp_path):
+        cells = [
+            run_cell("test-mesh", "original"),
+            run_cell("test-mesh", "degsort"),
+            metrics_cell("test-mesh"),
+        ]
+        instr = Instrumentation(enabled=True)
+        with using(instr):
+            stats = execute_cells(
+                cells, RunnerConfig("test", str(tmp_path / "memo")), jobs=2
+            )
+        assert stats.executed == 3
+        assert instr.counters.get("memo.run.miss") == 2
+        assert instr.counters.get("memo.metrics.miss") == 1
+        assert instr.counters.get("parallel.cells.executed") == 3
+        totals = instr.span_totals()
+        for stage in ("load", "reorder", "trace", "cache-sim", "detect"):
+            assert totals[stage].calls >= 1, stage
+
+
+class TestParallelEquivalence:
+    def test_parallel_memo_byte_identical_to_sequential(self, tmp_path):
+        """jobs=2 and jobs=1 must write byte-identical memo files."""
+        cells = plan_cells(EQUIVALENCE_DRIVERS, "test")
+        seq_dir = str(tmp_path / "seq")
+        par_dir = str(tmp_path / "par")
+        execute_cells(
+            cells, RunnerConfig("test", seq_dir), jobs=1, worker_clock=FakeClock()
+        )
+        execute_cells(
+            cells, RunnerConfig("test", par_dir), jobs=2, worker_clock=FakeClock()
+        )
+        seq_files = read_cache(seq_dir)
+        par_files = read_cache(par_dir)
+        assert seq_files.keys() == par_files.keys()
+        assert seq_files == par_files
+
+    def test_drivers_replay_parallel_memo_as_hits(self, tmp_path):
+        """After precompute, a driver run is pure memo hits and the
+        records match a from-scratch sequential driver run."""
+        cells = plan_cells(EQUIVALENCE_DRIVERS, "test")
+        par_dir = str(tmp_path / "par")
+        execute_cells(
+            cells, RunnerConfig("test", par_dir), jobs=2, worker_clock=FakeClock()
+        )
+        replay = Instrumentation(enabled=True)
+        with using(replay):
+            par_report = fig3.run(
+                profile="test", runner=ExperimentRunner("test", cache_dir=par_dir)
+            )
+        assert replay.counters.get("memo.run.miss") == 0
+        assert replay.counters.get("memo.run.hit") > 0
+
+        seq_dir = str(tmp_path / "seq")
+        with using(Instrumentation(enabled=True, clock=FakeClock())):
+            seq_report = fig3.run(
+                profile="test", runner=ExperimentRunner("test", cache_dir=seq_dir)
+            )
+        assert par_report.rows == seq_report.rows
+        assert par_report.summary == seq_report.summary
+
+
+class TestRunAllJobs:
+    def test_run_all_jobs_argument_precomputes(self, tmp_path, monkeypatch):
+        """run_all(jobs=2) wires through to the parallel precompute."""
+        import repro.experiments.run_all as run_all_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        seen = {}
+
+        def fake_precompute(drivers, runner, jobs, **kwargs):
+            seen["drivers"] = set(drivers)
+            seen["jobs"] = jobs
+            seen["cache_dir"] = runner.cache_dir
+
+        monkeypatch.setattr(run_all_module, "precompute", fake_precompute)
+        monkeypatch.setattr(
+            run_all_module, "DRIVERS", {"fig3": fig3.run}
+        )
+        reports = run_all_module.run_all(profile="test", jobs=2)
+        assert seen == {
+            "drivers": {"fig3"},
+            "jobs": 2,
+            "cache_dir": str(tmp_path / "memo"),
+        }
+        assert [r.experiment for r in reports] == ["fig3"]
+
+    def test_run_all_jobs1_skips_precompute(self, tmp_path, monkeypatch):
+        import repro.experiments.run_all as run_all_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("jobs=1 must not touch repro.parallel")
+
+        monkeypatch.setattr(run_all_module, "precompute", forbidden)
+        monkeypatch.setattr(run_all_module, "DRIVERS", {"fig3": fig3.run})
+        reports = run_all_module.run_all(profile="test", jobs=1)
+        assert [r.experiment for r in reports] == ["fig3"]

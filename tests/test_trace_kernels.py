@@ -97,6 +97,41 @@ class TestSpmvCooTrace:
         trace = spmv_coo_trace(coo)
         assert trace.n_accesses > 0
 
+    def test_unsorted_entries_indexed_consistently(self):
+        """Regression: all five regions must follow the same row-sorted
+        walk.  The stream reads used to be indexed 0..nnz-1 while the
+        x/y gathers followed argsort(rows), so a shuffled COO traced a
+        walk no real kernel performs."""
+        rng = np.random.default_rng(7)
+        nnz = 40
+        rows = rng.integers(0, 16, size=nnz)
+        cols = rng.integers(0, 16, size=nnz)
+        coo = COOMatrix(16, 16, rows, cols)
+        # One element per line makes line IDs positional: region base
+        # plus element index.
+        trace = spmv_coo_trace(coo, element_bytes=4, line_bytes=4)
+        # Consecutive accesses alternate regions, so nothing collapses.
+        assert trace.n_accesses == 5 * nnz
+        bases = {name: start for name, start, _ in trace.regions}
+        order = np.argsort(rows, kind="stable")
+        lines = trace.lines
+        np.testing.assert_array_equal(lines[0::5] - bases["rows"], order)
+        np.testing.assert_array_equal(lines[1::5] - bases["cols"], order)
+        np.testing.assert_array_equal(lines[2::5] - bases["values"], order)
+        np.testing.assert_array_equal(lines[3::5] - bases["x"], cols[order])
+        np.testing.assert_array_equal(lines[4::5] - bases["y"], rows[order])
+
+    def test_sorted_coo_trace_unchanged_by_fix(self):
+        """For a row-sorted COO the walk order is the identity, so the
+        trace equals the pre-fix streaming behaviour."""
+        coo = csr_to_coo(sample_csr())
+        assert (np.diff(coo.rows) >= 0).all()
+        trace = spmv_coo_trace(coo, element_bytes=4, line_bytes=4)
+        bases = {name: start for name, start, _ in trace.regions}
+        np.testing.assert_array_equal(
+            trace.lines[0::5] - bases["rows"], np.arange(coo.nnz)
+        )
+
 
 class TestSpmmCsrTrace:
     def test_k4_single_line_gather(self):
