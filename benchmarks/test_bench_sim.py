@@ -1,0 +1,55 @@
+"""Benchmark-harness entry for the simulator engines (BENCH_sim.json).
+
+Times the reference and vectorized cache simulators on the seeded
+``bench-sim`` smoke workload, asserts the two implementations return
+identical ``CacheStats``, and writes the throughput comparison to
+``BENCH_sim.json`` (override the location with ``REPRO_BENCH_SIM_OUT``).
+The full-size comparison — the paper-faithful A6000 L2 geometry —
+runs via ``repro bench-sim`` without ``--smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cache.benchsim import build_bench_workload, run_bench
+
+OUT_ENV_VAR = "REPRO_BENCH_SIM_OUT"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_bench_workload(smoke=True)
+
+
+def test_bench_sim_smoke(workload):
+    trace, config = workload
+    payload = run_bench(trace, config, repeats=1)
+
+    assert payload["stats_match"] is True
+    impls = {(r["policy"], r["impl"]) for r in payload["results"]}
+    assert impls == {
+        ("lru", "reference"),
+        ("lru", "fast"),
+        ("belady", "reference"),
+        ("belady", "fast"),
+    }
+    assert all(r["accesses_per_s"] > 0 for r in payload["results"])
+    assert set(payload["speedups"]) == {"lru", "belady"}
+
+    out_path = os.environ.get(OUT_ENV_VAR, "BENCH_sim.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+
+    print()
+    print(f"wrote {out_path}")
+    for result in payload["results"]:
+        print(
+            f"{result['policy']:7s} {result['impl']:10s} "
+            f"{result['accesses_per_s']:,.0f} accesses/s"
+        )
+    for policy, speedup in payload["speedups"].items():
+        print(f"{policy}: fast = {speedup:.1f}x reference")

@@ -9,8 +9,7 @@ the artifact-level experiments.
 import numpy as np
 import pytest
 
-from repro.cache.belady import simulate_belady
-from repro.cache.lru import simulate_lru
+from repro.cache import simulate
 from repro.community.rabbit import rabbit_communities
 from repro.gpu.specs import scaled_platform
 from repro.graphs.corpus import load_graph
@@ -39,13 +38,25 @@ def test_trace_generation(benchmark, graph):
 
 def test_lru_simulation(benchmark, trace):
     config = scaled_platform("bench").cache_config()
-    stats = benchmark(lambda: simulate_lru(trace.lines, config))
+    stats = benchmark(lambda: simulate(trace.lines, config, policy="lru", impl="reference"))
+    assert stats.accesses == trace.n_accesses
+
+
+def test_lru_simulation_fast(benchmark, trace):
+    config = scaled_platform("bench").cache_config()
+    stats = benchmark(lambda: simulate(trace.lines, config, policy="lru", impl="fast"))
     assert stats.accesses == trace.n_accesses
 
 
 def test_belady_simulation(benchmark, trace):
     config = scaled_platform("bench").cache_config()
-    stats = benchmark(lambda: simulate_belady(trace.lines, config))
+    stats = benchmark(lambda: simulate(trace.lines, config, policy="belady", impl="reference"))
+    assert stats.accesses == trace.n_accesses
+
+
+def test_belady_simulation_fast(benchmark, trace):
+    config = scaled_platform("bench").cache_config()
+    stats = benchmark(lambda: simulate(trace.lines, config, policy="belady", impl="fast"))
     assert stats.accesses == trace.n_accesses
 
 

@@ -8,11 +8,8 @@ gap.  This example also reports dead-line fractions (Table III),
 showing *why* better orderings do better: less wasted cache capacity.
 """
 
-from repro import load_graph, make_technique
-from repro.gpu.perf import model_run
-from repro.gpu.specs import scaled_platform
-from repro.sparse.permute import permute_symmetric
-from repro.trace.kernel_traces import spmv_csr_trace
+from repro import load_graph, make_technique, model_run, scaled_platform
+from repro.sparse import permute_symmetric
 
 TECHNIQUES = ("random", "original", "dbg", "rabbit", "rabbit++")
 
@@ -29,9 +26,8 @@ def main() -> None:
     for name in TECHNIQUES:
         permutation = make_technique(name).compute(graph)
         csr = permute_symmetric(graph.adjacency, permutation)
-        trace = spmv_csr_trace(csr, line_bytes=platform.line_bytes)
-        lru = model_run(trace, platform, policy="lru")
-        opt = model_run(trace, platform, policy="belady")
+        lru = model_run(csr, platform, policy="lru", kernel="spmv-csr")
+        opt = model_run(csr, platform, policy="belady", kernel="spmv-csr")
         gap = lru.normalized_traffic / opt.normalized_traffic
         print(
             f"{name:10s} {lru.normalized_traffic:8.3f} "

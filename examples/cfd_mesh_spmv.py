@@ -8,13 +8,10 @@ bandwidth-minimizing classic (RCM) and community ordering (RABBIT)
 recover locality, and compares them against the true spatial order.
 """
 
-from repro import evaluate_ordering, load_graph, make_technique
+from repro import Graph, evaluate_ordering, load_graph, make_technique, scaled_platform
 from repro.graphs.generators import grid_2d
-from repro.graphs.graph import Graph
-from repro.gpu.specs import scaled_platform
 from repro.metrics.locality import average_neighbor_span, matrix_bandwidth
-from repro.sparse.convert import coo_to_csr
-from repro.sparse.permute import permute_symmetric
+from repro.sparse import coo_to_csr, permute_symmetric
 
 
 def main() -> None:

@@ -9,8 +9,7 @@ compute a RABBIT++ ordering, and model the SpMV kernel's DRAM traffic
 and run time on the scaled A6000 platform.
 """
 
-from repro import evaluate_ordering, load_graph, make_technique
-from repro.gpu.specs import scaled_platform
+from repro import evaluate_ordering, load_graph, make_technique, scaled_platform
 
 
 def main() -> None:

@@ -13,8 +13,7 @@ end on a synthetic social matrix:
 
 import numpy as np
 
-from repro import evaluate_ordering, load_graph, make_technique
-from repro.gpu.specs import scaled_platform
+from repro import evaluate_ordering, load_graph, make_technique, scaled_platform
 from repro.metrics.insularity import insular_mask, insular_node_fraction, insularity
 from repro.metrics.locality import hub_cache_footprint_bytes
 from repro.metrics.skew import degree_skew

@@ -18,10 +18,9 @@ import time
 
 import numpy as np
 
-from repro import evaluate_ordering, load_graph, make_technique
-from repro.gpu.specs import scaled_platform
+from repro import evaluate_ordering, load_graph, make_technique, scaled_platform
 from repro.solvers import conjugate_gradient, graph_laplacian
-from repro.sparse.permute import permute_symmetric
+from repro.sparse import permute_symmetric
 
 
 def main() -> None:

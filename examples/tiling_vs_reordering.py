@@ -9,11 +9,9 @@ platform: a tile-count sweep for a RANDOM-ordered and a
 RABBIT++-ordered matrix, plus the combination.
 """
 
-from repro import load_graph, make_technique
-from repro.gpu.perf import model_run
-from repro.gpu.specs import scaled_platform
-from repro.sparse.permute import permute_symmetric
-from repro.trace.tiled import spmv_csr_tiled_trace
+from repro import load_graph, make_technique, model_run, scaled_platform
+from repro.sparse import permute_symmetric
+from repro.trace import spmv_csr_tiled_trace
 
 TILES = (1, 2, 4, 8, 16, 32)
 

@@ -31,7 +31,13 @@ Quick start::
 """
 
 from repro.api import evaluate_ordering, reorder_matrix
-from repro.cache import CacheConfig, CacheStats, simulate_belady, simulate_lru
+from repro.cache import (
+    CacheConfig,
+    CacheStats,
+    simulate,
+    simulate_belady,
+    simulate_lru,
+)
 from repro.community import (
     CommunityAssignment,
     louvain,
@@ -50,7 +56,7 @@ from repro.reorder import (
     make_technique,
 )
 from repro.sparse import COOMatrix, CSRMatrix, spmm_csr, spmv_coo, spmv_csr
-from repro.trace import spmm_csr_trace, spmv_coo_trace, spmv_csr_trace
+from repro.trace import KernelSpec, spmm_csr_trace, spmv_coo_trace, spmv_csr_trace
 
 __version__ = "1.0.0"
 
@@ -62,6 +68,7 @@ __all__ = [
     "CacheStats",
     "CommunityAssignment",
     "Graph",
+    "KernelSpec",
     "PAPER_TECHNIQUES",
     "PlatformSpec",
     "RabbitOrder",
@@ -82,6 +89,7 @@ __all__ = [
     "rabbit_communities",
     "reorder_matrix",
     "scaled_platform",
+    "simulate",
     "simulate_belady",
     "simulate_lru",
     "spmm_csr",

@@ -18,9 +18,8 @@ from repro.graphs.graph import Graph
 from repro.reorder.base import ReorderingTechnique
 from repro.reorder.registry import make_technique
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.convert import csr_to_coo
 from repro.sparse.permute import permute_symmetric
-from repro.trace.kernel_traces import spmm_csr_trace, spmv_coo_trace, spmv_csr_trace
+from repro.trace.kernelspec import KernelSpec
 
 
 def reorder_matrix(
@@ -38,29 +37,25 @@ def reorder_matrix(
 def evaluate_ordering(
     matrix: Union[CSRMatrix, Graph],
     permutation: Optional[np.ndarray] = None,
-    kernel: str = "spmv-csr",
+    kernel: Union[str, KernelSpec] = "spmv-csr",
     platform: PlatformSpec = SCALED_A6000,
     policy: str = "lru",
+    impl: Optional[str] = None,
 ) -> KernelRunModel:
     """Model one kernel run of (optionally permuted) ``matrix``.
 
     ``permutation`` is ``perm[old_id] == new_id``; ``None`` evaluates
-    the matrix as-is.  Returns the full :class:`KernelRunModel`,
-    whose ``normalized_traffic`` / ``normalized_runtime`` properties
-    correspond to the paper's headline metrics.
+    the matrix as-is.  ``kernel`` is a :class:`KernelSpec` or a
+    canonical kernel name (validated by :meth:`KernelSpec.parse`);
+    ``impl`` selects the simulator engine (see
+    :func:`repro.cache.simulate`).  Returns the full
+    :class:`KernelRunModel`, whose ``normalized_traffic`` /
+    ``normalized_runtime`` properties correspond to the paper's
+    headline metrics.
     """
+    spec = KernelSpec.coerce(kernel)
     csr = matrix.adjacency if isinstance(matrix, Graph) else matrix
     if permutation is not None:
         csr = permute_symmetric(csr, permutation)
-    if kernel == "spmv-csr":
-        trace = spmv_csr_trace(csr, line_bytes=platform.line_bytes)
-    elif kernel == "spmv-coo":
-        trace = spmv_coo_trace(csr_to_coo(csr), line_bytes=platform.line_bytes)
-    elif kernel.startswith("spmm-csr-"):
-        k = int(kernel.rsplit("-", 1)[1])
-        trace = spmm_csr_trace(csr, k=k, line_bytes=platform.line_bytes)
-    else:
-        raise ValueError(
-            f"unknown kernel {kernel!r}; expected spmv-csr, spmv-coo or spmm-csr-<k>"
-        )
-    return model_run(trace, platform, policy=policy)
+    trace = spec.build_trace(csr, platform)
+    return model_run(trace, platform, policy=policy, impl=impl)

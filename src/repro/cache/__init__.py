@@ -6,11 +6,25 @@ It consumes line-granular access traces (see :mod:`repro.trace`),
 models a set-associative cache with LRU or Belady (optimal)
 replacement, and reports hits/misses, DRAM traffic, per-region miss
 splits, and dead-line statistics (Table III).
+
+This module is the public simulator surface:
+
+* :func:`simulate` — the single entry point; dispatches between the
+  reference per-access implementations and the numpy-vectorized
+  engines in :mod:`repro.cache.fast` (``impl="fast"|"reference"|
+  "auto"``, env override ``REPRO_SIM_IMPL``).
+* :class:`CacheConfig` / :class:`CacheStats` — geometry in, counters
+  out.
+
+``simulate_lru`` / ``simulate_belady`` remain importable as deprecated
+aliases for the reference implementations; new code should call
+``simulate(trace, config, policy=...)`` instead.
 """
 
 from repro.cache.config import CacheConfig
-from repro.cache.lru import simulate_lru
-from repro.cache.belady import simulate_belady
+from repro.cache.dispatch import IMPLS, POLICIES, resolve_impl, simulate
+from repro.cache.lru import classify_misses, compulsory_misses, simulate_lru
+from repro.cache.belady import next_use_index, simulate_belady
 from repro.cache.hierarchy import HierarchyStats, simulate_hierarchy
 from repro.cache.stats import CacheStats
 
@@ -18,6 +32,13 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "HierarchyStats",
+    "IMPLS",
+    "POLICIES",
+    "classify_misses",
+    "compulsory_misses",
+    "next_use_index",
+    "resolve_impl",
+    "simulate",
     "simulate_belady",
     "simulate_hierarchy",
     "simulate_lru",

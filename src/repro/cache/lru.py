@@ -107,7 +107,8 @@ def classify_misses(
     """
     if not regions:
         return {}
-    miss_lines = trace[np.asarray(miss_positions, dtype=np.int64)] if miss_positions else np.empty(0, dtype=np.int64)
+    positions = np.asarray(miss_positions, dtype=np.int64)
+    miss_lines = trace[positions] if positions.size else np.empty(0, dtype=np.int64)
     result: Dict[str, int] = {}
     claimed = np.zeros(miss_lines.size, dtype=bool)
     for name, lo, hi in regions:

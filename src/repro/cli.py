@@ -23,6 +23,7 @@ log lines on stderr; ``--quiet`` suppresses progress reporting.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import sys
@@ -189,6 +190,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache_stats.set_defaults(handler=_cmd_cache_stats)
 
+    bench_sim = subparsers.add_parser(
+        "bench-sim",
+        help="benchmark the reference vs fast cache simulators",
+    )
+    bench_sim.add_argument(
+        "--smoke", action="store_true", help="small workload for CI (seconds, not minutes)"
+    )
+    bench_sim.add_argument(
+        "--policy",
+        default="both",
+        choices=["lru", "belady", "both"],
+        help="replacement policies to benchmark",
+    )
+    bench_sim.add_argument(
+        "--repeats", type=int, default=1, help="timing repetitions (best is kept)"
+    )
+    bench_sim.add_argument(
+        "--json", default=None, metavar="PATH", help="write the BENCH_sim.json payload to PATH"
+    )
+    bench_sim.set_defaults(handler=_cmd_bench_sim)
+
     version = subparsers.add_parser("version", help="print the package version")
     version.set_defaults(handler=_cmd_version)
 
@@ -354,6 +376,30 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         )
     else:
         print("this process: no memo lookups recorded (enable with --log-level/--log-file)")
+    return 0
+
+
+def _cmd_bench_sim(args: argparse.Namespace) -> int:
+    from repro.cache.benchsim import build_bench_workload, run_bench
+
+    policies = ("lru", "belady") if args.policy == "both" else (args.policy,)
+    trace, config = build_bench_workload(smoke=args.smoke)
+    print(
+        f"workload: {trace.kernel}, {trace.lines.size} accesses, "
+        f"{config.n_sets} sets x {config.ways} ways"
+    )
+    payload = run_bench(trace, config, policies=policies, repeats=args.repeats)
+    rows = [
+        [r["policy"], r["impl"], f"{r['seconds']:.3f}", f"{r['accesses_per_s']:,.0f}"]
+        for r in payload["results"]
+    ]
+    print(render_table(["policy", "impl", "seconds", "accesses/s"], rows))
+    for policy, speedup in payload["speedups"].items():
+        print(f"{policy}: fast is {speedup:.1f}x reference (identical CacheStats)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -49,9 +49,8 @@ from repro.reorder.base import TimedReordering, reorder_with_timing
 from repro.reorder.rabbit import RabbitOrder
 from repro.reorder.registry import make_technique
 from repro.sparse.mask import restrict_to_nodes
-from repro.sparse.convert import csr_to_coo
 from repro.sparse.permute import permute_symmetric
-from repro.trace.kernel_traces import spmm_csr_trace, spmv_coo_trace, spmv_csr_trace
+from repro.trace.kernelspec import KernelSpec
 
 KERNELS = ("spmv-csr", "spmv-coo", "spmm-csr-4", "spmm-csr-256")
 MASKS = ("none", "insular")
@@ -317,9 +316,9 @@ class ExperimentRunner:
         keeping the B-row capacity a small fraction of the node count
         (the paper's capacity-starved SpMM regime; see DESIGN.md).
         """
-        if kernel.startswith("spmm-csr-"):
-            k = int(kernel.rsplit("-", 1)[1])
-            factor = max(1, k // 16)
+        spec = KernelSpec.coerce(kernel)
+        if spec.kind == "spmm-csr":
+            factor = max(1, spec.k // 16)
             return dataclasses.replace(
                 self.platform,
                 name=f"{self.platform.name}-x{factor}",
@@ -328,14 +327,9 @@ class ExperimentRunner:
         return self.platform
 
     def _build_trace(self, permuted, kernel: str):
-        line_bytes = self.platform.line_bytes
-        if kernel == "spmv-csr":
-            return spmv_csr_trace(permuted, line_bytes=line_bytes, schedule=self.schedule)
-        if kernel == "spmv-coo":
-            return spmv_coo_trace(csr_to_coo(permuted), line_bytes=line_bytes)
-        if kernel == "spmm-csr-4":
-            return spmm_csr_trace(permuted, k=4, line_bytes=line_bytes)
-        return spmm_csr_trace(permuted, k=256, line_bytes=line_bytes)
+        return KernelSpec.coerce(kernel).build_trace(
+            permuted, self.platform, schedule=self.schedule
+        )
 
     # -- cache plumbing --------------------------------------------------
 

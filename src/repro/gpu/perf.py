@@ -17,14 +17,15 @@ ideal time cancels BW, so only the efficiency split matters.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Union
 
-from repro.cache.belady import simulate_belady
-from repro.cache.lru import compulsory_misses, simulate_lru
+from repro.cache import compulsory_misses, simulate
 from repro.cache.stats import CacheStats
 from repro.errors import ValidationError
 from repro.gpu.specs import PlatformSpec
 from repro.obs import get_obs
 from repro.trace.kernel_traces import KernelTrace
+from repro.trace.kernelspec import KernelSpec
 
 
 @dataclass
@@ -60,23 +61,34 @@ class KernelRunModel:
 
 
 def model_run(
-    trace: KernelTrace,
+    trace: Union[KernelTrace, object],
     platform: PlatformSpec,
     policy: str = "lru",
+    kernel: Optional[Union[str, KernelSpec]] = None,
+    impl: Optional[str] = None,
 ) -> KernelRunModel:
-    """Simulate ``trace`` on ``platform`` and apply the run-time model."""
+    """Simulate ``trace`` on ``platform`` and apply the run-time model.
+
+    ``trace`` is normally a pre-built :class:`KernelTrace`; passing a
+    sparse matrix together with ``kernel`` (a :class:`KernelSpec` or
+    canonical name) builds the trace here.  ``impl`` selects the
+    simulator engine (see :func:`repro.cache.simulate`).
+    """
+    if kernel is not None:
+        trace = KernelSpec.coerce(kernel).build_trace(trace, platform)
+    if not isinstance(trace, KernelTrace):
+        raise ValidationError(
+            "model_run expects a KernelTrace; pass kernel= to build one from a matrix"
+        )
     if trace.line_bytes != platform.line_bytes:
         raise ValidationError(
             f"trace line size ({trace.line_bytes}) != platform line size "
             f"({platform.line_bytes})"
         )
     config = platform.cache_config()
-    if policy == "lru":
-        stats = simulate_lru(trace.lines, config, regions=trace.regions)
-    elif policy == "belady":
-        stats = simulate_belady(trace.lines, config, regions=trace.regions)
-    else:
-        raise ValidationError(f"policy must be 'lru' or 'belady', got {policy!r}")
+    stats = simulate(
+        trace.lines, config, policy=policy, regions=trace.regions, impl=impl
+    )
 
     # The cache simulation above carries its own "cache-sim" span; this
     # span covers only the remaining run-time-model arithmetic so the

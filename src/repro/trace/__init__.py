@@ -17,12 +17,16 @@ from repro.trace.kernel_traces import (
     spmv_csc_trace,
     spmv_csr_trace,
 )
+from repro.trace.kernelspec import KernelSpec, kernel_kinds, register_kernel
 from repro.trace.tiled import spmv_csr_tiled_trace
 
 __all__ = [
     "AddressSpace",
+    "KernelSpec",
     "KernelTrace",
     "Region",
+    "kernel_kinds",
+    "register_kernel",
     "spmm_csr_trace",
     "spmv_coo_trace",
     "spmv_csc_trace",

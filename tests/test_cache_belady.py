@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.cache.belady import next_use_index, simulate_belady
+from repro.cache import next_use_index, simulate_belady
 from repro.cache.config import CacheConfig
-from repro.cache.lru import compulsory_misses, simulate_lru
+from repro.cache import compulsory_misses, simulate_lru
 
 
 def tiny_cache(ways=2, sets=1):

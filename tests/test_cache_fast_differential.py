@@ -1,0 +1,135 @@
+"""Differential suite: vectorized simulators vs the reference oracle.
+
+Seeded random traces and real kernel traces are replayed through both
+the reference per-access simulators and the numpy engines in
+``repro.cache.fast``; the resulting ``CacheStats`` must be equal
+field-by-field (dataclass equality covers accesses, hits, misses,
+evictions, dead-line counters and the per-region miss split).  The
+geometry grid includes the direct-mapped (``ways=1``) and
+fully-associative (``n_sets=1``) edge cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, simulate, simulate_belady, simulate_lru
+from repro.cache.fast import simulate_belady_fast, simulate_lru_fast
+from repro.gpu.specs import scaled_platform
+from repro.graphs.corpus import load_graph
+from repro.trace.kernelspec import KernelSpec
+
+#: (n_sets, ways) grid: direct-mapped, fully-associative, square, wide.
+GEOMETRIES = [
+    (1, 1),
+    (1, 4),
+    (1, 16),
+    (4, 1),
+    (16, 1),
+    (4, 4),
+    (16, 4),
+    (8, 2),
+    (64, 16),
+]
+
+REFERENCE = {"lru": simulate_lru, "belady": simulate_belady}
+FAST = {"lru": simulate_lru_fast, "belady": simulate_belady_fast}
+
+
+def config_for(n_sets: int, ways: int, line_bytes: int = 32) -> CacheConfig:
+    return CacheConfig(
+        capacity_bytes=n_sets * ways * line_bytes,
+        line_bytes=line_bytes,
+        ways=ways,
+    )
+
+
+def assert_identical_stats(reference, fast, context=""):
+    for field in dataclasses.fields(reference):
+        assert getattr(reference, field.name) == getattr(fast, field.name), (
+            f"{context}: field {field.name!r} diverges: "
+            f"reference={getattr(reference, field.name)!r} "
+            f"fast={getattr(fast, field.name)!r}"
+        )
+    assert reference == fast
+
+
+def random_trace(rng, style: str, n: int) -> np.ndarray:
+    if style == "uniform":
+        return rng.integers(0, max(1, n // 4 + 3), size=n)
+    if style == "hot":
+        hot = rng.integers(0, 8, size=n)
+        cold = rng.integers(0, 10 * n + 1, size=n)
+        pick = rng.random(n) < 0.6
+        return np.where(pick, hot, cold)
+    # "stream": sequential sweeps with an irregular gather interleaved
+    sweep = np.arange(n) // 3
+    gather = rng.integers(0, max(1, n // 2), size=n) + 10 * n
+    out = np.empty(n, dtype=np.int64)
+    out[0::2] = sweep[0::2]
+    out[1::2] = gather[1::2]
+    return out
+
+
+@pytest.mark.parametrize("policy", ["lru", "belady"])
+@pytest.mark.parametrize("geometry", GEOMETRIES)
+@pytest.mark.parametrize("style", ["uniform", "hot", "stream"])
+def test_random_traces(policy, geometry, style):
+    n_sets, ways = geometry
+    config = config_for(n_sets, ways)
+    rng = np.random.default_rng(hash((policy, n_sets, ways, style)) % (2**32))
+    for n in (0, 1, 2, ways, 4 * n_sets * ways, 5000):
+        trace = random_trace(rng, style, n)
+        regions = [("low", 0, max(1, n // 8)), ("mid", max(1, n // 8), n + 1)]
+        reference = REFERENCE[policy](trace, config, regions)
+        fast = FAST[policy](trace, config, regions)
+        assert_identical_stats(
+            reference, fast, f"{policy} {n_sets}x{ways} {style} n={n}"
+        )
+
+
+@pytest.mark.parametrize("policy", ["lru", "belady"])
+def test_sparse_line_ids(policy):
+    """Huge, sparse line-id ranges exercise the id-compaction path."""
+    config = config_for(16, 4)
+    rng = np.random.default_rng(99)
+    trace = rng.integers(0, 2**60, size=400) * 3 + rng.integers(0, 7, size=400)
+    reference = REFERENCE[policy](trace, config)
+    fast = FAST[policy](trace, config)
+    assert_identical_stats(reference, fast, f"{policy} sparse ids")
+
+
+@pytest.mark.parametrize("policy", ["lru", "belady"])
+@pytest.mark.parametrize("kernel", ["spmv-csr", "spmv-coo", "spmm-csr-4"])
+@pytest.mark.parametrize("matrix", ["test-comm", "test-rmat"])
+def test_real_kernel_traces(policy, kernel, matrix):
+    """Real kernel traces with region splits, on two cache geometries."""
+    graph = load_graph(matrix)
+    platform = scaled_platform("test")
+    trace = KernelSpec.parse(kernel).build_trace(graph.adjacency, platform)
+    for n_sets, ways in [(4, 16), (64, 16)]:
+        config = config_for(n_sets, ways, line_bytes=platform.line_bytes)
+        reference = REFERENCE[policy](trace.lines, config, trace.regions)
+        fast = FAST[policy](trace.lines, config, trace.regions)
+        assert_identical_stats(
+            reference, fast, f"{policy} {kernel} {matrix} {n_sets}x{ways}"
+        )
+        assert reference.region_misses  # the split actually exercised
+
+
+@pytest.mark.parametrize("policy", ["lru", "belady"])
+def test_dispatch_impls_agree(policy):
+    """simulate() returns the same stats whichever impl is forced."""
+    graph = load_graph("test-mesh")
+    platform = scaled_platform("test")
+    trace = KernelSpec.parse("spmv-csr").build_trace(graph.adjacency, platform)
+    config = config_for(64, 4)
+    results = {
+        impl: simulate(trace, config, policy=policy, impl=impl)
+        for impl in ("reference", "fast", "auto")
+    }
+    assert_identical_stats(results["reference"], results["fast"], policy)
+    assert results["auto"] == results["reference"]

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cache.config import CacheConfig
 from repro.cache.hierarchy import simulate_hierarchy
-from repro.cache.lru import simulate_lru
+from repro.cache import simulate_lru
 from repro.errors import ValidationError
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cache.config import CacheConfig
-from repro.cache.lru import classify_misses, compulsory_misses, simulate_lru
+from repro.cache import classify_misses, compulsory_misses, simulate_lru
 
 
 def tiny_cache(ways=2, sets=2):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.api import evaluate_ordering
-from repro.cache.lru import compulsory_misses
+from repro.cache import compulsory_misses
 from repro.experiments.runner import ExperimentRunner
 from repro.gpu.specs import scaled_platform
 from repro.graphs.corpus import load_graph

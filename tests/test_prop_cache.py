@@ -3,9 +3,9 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.cache.belady import next_use_index, simulate_belady
+from repro.cache import next_use_index, simulate_belady
 from repro.cache.config import CacheConfig
-from repro.cache.lru import compulsory_misses, simulate_lru
+from repro.cache import compulsory_misses, simulate_lru
 
 traces = st.lists(st.integers(0, 30), min_size=0, max_size=300).map(
     lambda xs: np.asarray(xs, dtype=np.int64)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cache.config import CacheConfig
-from repro.cache.lru import compulsory_misses, simulate_lru
+from repro.cache import compulsory_misses, simulate_lru
 from repro.errors import ValidationError
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import COOMatrix

@@ -65,7 +65,7 @@ class TestSpmvCsrTrace:
             spmv_csr_trace(sample_csr(), schedule="diagonal")
 
     def test_larger_line_size_shrinks_distinct_lines(self):
-        from repro.cache.lru import compulsory_misses
+        from repro.cache import compulsory_misses
 
         csr = coo_to_csr(
             COOMatrix(64, 64, np.repeat(np.arange(64), 2), np.tile(np.arange(2), 64))
@@ -163,7 +163,7 @@ class TestTraceVsSimulator:
         """With an infinite cache, misses equal distinct lines — and the
         streaming regions (coords/values) see exactly their size."""
         from repro.cache.config import CacheConfig
-        from repro.cache.lru import simulate_lru
+        from repro.cache import simulate_lru
 
         rng = np.random.default_rng(5)
         coo = COOMatrix(128, 128, rng.integers(0, 128, 600), rng.integers(0, 128, 600))
