@@ -9,6 +9,9 @@ Examples::
     repro export soc-forum /tmp/soc-forum.mtx
     repro profile soc-forum --technique rabbit
     repro cache-stats
+    repro doctor
+    repro run-all --jobs 4 --retries 2 --cell-timeout 120 --keep-going
+    repro run-all --resume
     repro version
 
 Observability flags (global, before the subcommand)::
@@ -140,14 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render an ASCII bar chart over the first numeric column",
     )
-    experiment.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="precompute pipeline cells in N worker processes sharing "
-        "the memo directory (default: 1, fully sequential)",
-    )
+    _add_sweep_flags(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
 
     run_all = subparsers.add_parser(
@@ -159,15 +155,24 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render an ASCII bar chart over the first numeric column",
     )
-    run_all.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="precompute pipeline cells in N worker processes sharing "
-        "the memo directory (default: 1, fully sequential)",
-    )
+    _add_sweep_flags(run_all)
     run_all.set_defaults(handler=_cmd_run_all)
+
+    doctor = subparsers.add_parser(
+        "doctor", help="verify memo-cache integrity (CI guard: exits 1 on damage)"
+    )
+    doctor.add_argument(
+        "--cache-dir",
+        default=None,
+        help="memo directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+    )
+    doctor.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move damaged/legacy files to <cache>/quarantine/ instead of "
+        "only reporting them",
+    )
+    doctor.set_defaults(handler=_cmd_doctor)
 
     profile = subparsers.add_parser(
         "profile",
@@ -219,6 +224,47 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """Parallelism + resilience flags shared by experiment/run-all."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="precompute pipeline cells in N worker processes sharing "
+        "the memo directory (default: 1, fully sequential)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transiently-failed cells up to N times with "
+        "exponential backoff (default: 0, fail on first error)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; a cell over budget raises "
+        "CellTimeoutError and is retried like any transient failure",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="record failed cells/drivers in a failure report and finish "
+        "the sweep with partial results instead of aborting "
+        "(exit code 1 if anything failed permanently)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already checkpointed in the sweep manifest "
+        "(written next to the memo cache by every sweep)",
+    )
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     records = selection_report(args.profile)
     rows = [
@@ -256,9 +302,24 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.resilience import (
+        CellFailure,
+        FailureReport,
+        RetryPolicy,
+        SweepManifest,
+        is_transient,
+    )
+
     names = sorted(DRIVERS) if args.name == "all" else [args.name]
     runner = ExperimentRunner(args.profile)
     jobs = getattr(args, "jobs", 1)
+    retry = RetryPolicy.from_retries(getattr(args, "retries", 0))
+    cell_timeout = getattr(args, "cell_timeout", None)
+    keep_going = getattr(args, "keep_going", False)
+    manifest = SweepManifest.for_sweep(
+        runner.cache_dir, args.profile, resume=getattr(args, "resume", False)
+    )
+    pending_cell_failures: dict = {}
     if jobs > 1:
         from repro.parallel import plan_cells, precompute
 
@@ -267,13 +328,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         cell_progress = ProgressReporter(
             n_cells, label="precompute", enabled=not args.quiet and n_cells > 0
         )
-        precompute(drivers, runner, jobs, progress=cell_progress)
+        stats = precompute(
+            drivers,
+            runner,
+            jobs,
+            progress=cell_progress,
+            retry=retry,
+            cell_timeout=cell_timeout,
+            keep_going=keep_going,
+            manifest=manifest,
+        )
         cell_progress.finish()
+        # Precompute failures are provisional: the in-process driver
+        # replay recomputes any missing cell, so a failure only sticks
+        # if the driver that needs it fails too.
+        pending_cell_failures = {f.label: f for f in stats.failures}
     progress = ProgressReporter(
         len(names), label="experiments", enabled=not args.quiet and len(names) > 1
     )
+    failures = FailureReport()
     for name in names:
-        report = run_experiment(name, profile=args.profile, runner=runner)
+        try:
+            report = run_experiment(name, profile=args.profile, runner=runner)
+        except Exception as exc:
+            if not keep_going:
+                raise
+            import traceback
+
+            failures.add(
+                CellFailure(
+                    label=f"driver:{name}",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=1,
+                    transient=is_transient(exc),
+                    traceback=traceback.format_exc(),
+                )
+            )
+            progress.update(name)
+            continue
+        manifest.mark_driver(name)
+        if pending_cell_failures:
+            from repro.parallel import driver_plan
+
+            for cell in driver_plan(DRIVERS.get(name) or ABLATIONS[name], args.profile):
+                pending_cell_failures.pop(cell.label(), None)
         progress.update(name)
         print(report.to_text())
         if getattr(args, "figure", False):
@@ -286,6 +385,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if get_obs().enabled and not args.quiet:
         print("== where the time went ==")
         print(timing_summary())
+    if keep_going:
+        for failure in pending_cell_failures.values():
+            failures.add(failure)
+        manifest.record_failures(failures)
+        print(failures.summary_text(), file=sys.stderr if failures else sys.stdout)
+        if failures:
+            return 1
     return 0
 
 
@@ -377,6 +483,53 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     else:
         print("this process: no memo lookups recorded (enable with --log-level/--log-file)")
     return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """``repro doctor`` — memo-cache integrity scan (CI guard).
+
+    Exits 0 when every in-cache memo file verifies; 1 when any file is
+    damaged (bad JSON, checksum or schema mismatch) or predates cache
+    versioning.  Already-quarantined files are reported but don't fail
+    the scan — they are out of the cache's read path.
+    """
+    from repro.resilience import quarantine_file, scan_cache
+
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    scan = scan_cache(cache_dir)
+    print(f"cache dir: {cache_dir}" + ("" if os.path.isdir(cache_dir) else " (missing)"))
+    rows = [
+        ["ok", len(scan.ok)],
+        ["legacy (unversioned)", len(scan.legacy)],
+        ["damaged", len(scan.damaged)],
+        ["quarantined", len(scan.quarantined)],
+    ]
+    print(render_table(["status", "files"], rows))
+    for name, reason in scan.damaged:
+        print(f"DAMAGED {name}: {reason}")
+    for name in scan.legacy:
+        print(f"LEGACY  {name}: missing cache envelope (will be quarantined on read)")
+    for name in scan.quarantined:
+        print(f"QUARANTINED {name}")
+    if args.quarantine:
+        for name, _reason in scan.damaged:
+            quarantine_file(os.path.join(cache_dir, name), cache_dir=cache_dir)
+        for name in scan.legacy:
+            quarantine_file(
+                os.path.join(cache_dir, name), cache_dir=cache_dir, reason="legacy"
+            )
+        moved = len(scan.damaged) + len(scan.legacy)
+        if moved:
+            print(f"quarantined {moved} file(s) to {os.path.join(cache_dir, 'quarantine')}")
+    if scan.healthy:
+        print("cache integrity: OK")
+        return 0
+    print(
+        f"cache integrity: {len(scan.damaged)} damaged, "
+        f"{len(scan.legacy)} legacy file(s)",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_bench_sim(args: argparse.Namespace) -> int:

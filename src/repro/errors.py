@@ -43,3 +43,48 @@ class ParallelExecutionError(ExperimentError):
     message; a crashed worker always fails the sweep loudly instead of
     silently dropping its cell.
     """
+
+
+class TransientError(ReproError):
+    """A failure that may succeed if the same work is simply retried.
+
+    The resilience layer (:mod:`repro.resilience`) retries cells that
+    fail with a :class:`TransientError` subclass (or a dead worker
+    process) up to the configured :class:`~repro.resilience.RetryPolicy`
+    budget; every other exception is treated as deterministic and fails
+    fast without retrying.
+    """
+
+
+class CellTimeoutError(TransientError):
+    """A pipeline cell exceeded its wall-clock timeout budget.
+
+    Timeouts are classified transient: a cell can blow its budget
+    because of machine load rather than its own work, so it is worth
+    one more attempt before the sweep gives up on it.
+    """
+
+
+class CacheIntegrityError(TransientError):
+    """A memo cache file failed its integrity check.
+
+    Raised when a cached JSON payload is truncated, unparseable,
+    carries an unknown schema version, or fails its checksum.  The
+    damaged file is quarantined and the cell recomputed, which is why
+    this error is transient: a retry recomputes from scratch.
+    """
+
+
+class SweepFailure(ParallelExecutionError):
+    """A sweep ended with cells that failed permanently.
+
+    Carries the structured :class:`~repro.resilience.FailureReport` as
+    ``report`` so callers can inspect exactly which cells failed, with
+    how many attempts, and whether the failures were transient.
+    Subclasses :class:`ParallelExecutionError` so pre-resilience call
+    sites catching that type keep working.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report

@@ -62,18 +62,18 @@ def _sweep_cache_path(runner: ExperimentRunner, platform, n: int, technique: str
 
 
 def _sweep_point(runner: ExperimentRunner, platform, n: int, technique: str):
-    """Load a cached sweep measurement, or None."""
-    import json
-    import os
+    """Load a cached sweep measurement, or None.
 
+    Reads through the runner's verified loader, so a damaged sweep memo
+    is quarantined and re-measured instead of crashing the driver.
+    """
     path = _sweep_cache_path(runner, platform, n, technique)
-    if runner.use_cache and os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as handle:
-            point = json.load(handle)
-        if point["iterations"] is None:
-            point["iterations"] = float("inf")
-        return point
-    return None
+    point = runner._load_payload(path, kind="fig9")
+    if point is None:
+        return None
+    if point["iterations"] is None:
+        point["iterations"] = float("inf")
+    return point
 
 
 def _measure_sweep_point(

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import traceback
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ExperimentError
+from repro.resilience import (
+    CellFailure,
+    FailureReport,
+    RetryPolicy,
+    SweepManifest,
+    is_transient,
+)
 from repro.experiments import (
     correlations,
     corpus_report,
@@ -27,7 +35,7 @@ from repro.experiments import (
 from repro.experiments.report import ExperimentReport
 from repro.experiments.runner import ExperimentRunner
 from repro.obs import ProgressReporter, format_span_totals, get_obs, logger
-from repro.parallel import precompute
+from repro.parallel import driver_plan, precompute
 
 DRIVERS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1.run,
@@ -80,6 +88,10 @@ def run_all(
     profile: str = "full",
     progress: Optional[ProgressReporter] = None,
     jobs: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
+    keep_going: bool = False,
+    resume: bool = False,
 ) -> List[ExperimentReport]:
     """Run every driver, sharing one runner (and its caches).
 
@@ -90,17 +102,68 @@ def run_all(
     that many worker processes sharing the on-disk memo (see
     :mod:`repro.parallel`), then runs the drivers in-process as memo
     hits; ``jobs=1`` is exactly the historical sequential path.
+
+    Resilience: the sweep checkpoints completed cells and drivers to a
+    versioned manifest next to the memo cache, so ``resume=True``
+    skips work a killed sweep already finished.  ``retry`` and
+    ``cell_timeout`` govern the precompute phase (see
+    :func:`repro.parallel.execute_cells`); with ``keep_going=True`` a
+    failing driver is recorded in a :class:`FailureReport` (logged
+    loudly at the end, persisted in the manifest) instead of aborting
+    the remaining drivers, and the partial report list is returned.
     """
     runner = ExperimentRunner(profile)
+    manifest = SweepManifest.for_sweep(runner.cache_dir, profile, resume=resume)
+    pending_cell_failures = {}
     if jobs > 1:
-        precompute(DRIVERS, runner, jobs)
+        stats = precompute(
+            DRIVERS,
+            runner,
+            jobs,
+            retry=retry,
+            cell_timeout=cell_timeout,
+            keep_going=keep_going,
+            manifest=manifest,
+        )
+        # Provisional: the in-process driver replay recomputes any
+        # missing cell, so a precompute failure only sticks if the
+        # driver that needs the cell fails too.
+        if stats is not None:
+            pending_cell_failures = {f.label: f for f in stats.failures}
     reports = []
+    failures = FailureReport()
     for name in DRIVERS:
-        reports.append(run_experiment(name, profile=profile, runner=runner))
+        try:
+            reports.append(run_experiment(name, profile=profile, runner=runner))
+        except Exception as exc:
+            if not keep_going:
+                raise
+            get_obs().counter("resilience.drivers_failed")
+            failures.add(
+                CellFailure(
+                    label=f"driver:{name}",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=1,
+                    transient=is_transient(exc),
+                    traceback=traceback.format_exc(),
+                )
+            )
+            logger.error("driver %s failed (continuing): %s", name, exc)
+            continue
+        manifest.mark_driver(name)
+        if pending_cell_failures:
+            for cell in driver_plan(DRIVERS[name], profile):
+                pending_cell_failures.pop(cell.label(), None)
         if progress is not None:
             progress.update(name)
     if progress is not None:
         progress.finish()
+    for failure in pending_cell_failures.values():
+        failures.add(failure)
+    if failures:
+        manifest.record_failures(failures)
+        logger.error("%s", failures.summary_text())
     return reports
 
 

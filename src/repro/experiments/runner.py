@@ -45,6 +45,8 @@ from repro.metrics.community_stats import community_size_stats
 from repro.metrics.insularity import insular_mask, insular_node_fraction, insularity
 from repro.metrics.skew import degree_skew
 from repro.obs import get_obs, logger
+from repro.resilience.faults import fault_point
+from repro.resilience.integrity import load_or_quarantine, wrap_payload
 from repro.reorder.base import TimedReordering, reorder_with_timing
 from repro.reorder.rabbit import RabbitOrder
 from repro.reorder.registry import make_technique
@@ -203,11 +205,10 @@ class ExperimentRunner:
         """Insularity/skew/community statistics (RABBIT detection)."""
         obs = get_obs()
         path = self.metrics_cache_path(matrix)
-        if self.use_cache and os.path.exists(path):
+        payload = self._load_payload(path, kind="metrics", matrix=matrix)
+        if payload is not None:
             obs.counter("memo.metrics.hit")
-            with obs.span("memo-load", kind="metrics", matrix=matrix):
-                with open(path, "r", encoding="utf-8") as handle:
-                    return MatrixMetrics.from_json(json.load(handle))
+            return MatrixMetrics.from_json(payload)
         obs.counter("memo.metrics.miss")
         graph = self.graph(matrix)
         with obs.span("metrics", matrix=matrix):
@@ -246,16 +247,15 @@ class ExperimentRunner:
             raise ValidationError(f"mask must be one of {MASKS}, got {mask!r}")
         obs = get_obs()
         cache_key = self.run_cache_path(matrix, technique, kernel, policy, mask)
-        if self.use_cache and os.path.exists(cache_key):
+        payload = self._load_payload(
+            cache_key, kind="run", matrix=matrix, technique=technique
+        )
+        if payload is not None:
             obs.counter("memo.run.hit")
             logger.debug(
                 "memo hit: %s/%s/%s/%s/%s", matrix, technique, kernel, policy, mask
             )
-            with obs.span(
-                "memo-load", kind="run", matrix=matrix, technique=technique
-            ):
-                with open(cache_key, "r", encoding="utf-8") as handle:
-                    return RunRecord.from_json(json.load(handle))
+            return RunRecord.from_json(payload)
 
         obs.counter("memo.run.miss")
         timed = self.permutation(matrix, technique)
@@ -357,14 +357,21 @@ class ExperimentRunner:
         return os.path.join(self.cache_dir, f"{kind}-{safe}-{digest}.json")
 
     def _write_json(self, path: str, payload: Dict[str, object]) -> None:
+        """Persist one memo payload in a versioned checksum envelope.
+
+        Reads verify the envelope (:meth:`_load_payload`); damaged or
+        legacy files are quarantined and recomputed instead of crashing
+        the sweep — see :mod:`repro.resilience.integrity`.
+        """
         if not self.use_cache:
             return
+        document = wrap_payload(payload)
         with get_obs().span("memo-store"):
             os.makedirs(self.cache_dir, exist_ok=True)
             tmp = f"{path}.tmp.{os.getpid()}"
             try:
                 with open(tmp, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, indent=1, sort_keys=True)
+                    json.dump(document, handle, indent=1, sort_keys=True)
                 os.replace(tmp, path)
             except BaseException:
                 # json.dump (or the rename) failed mid-write: don't
@@ -374,6 +381,22 @@ class ExperimentRunner:
                 except OSError:
                     pass
                 raise
+        fault_point("memo.write", path=path)
+
+    def _load_payload(
+        self, path: str, kind: str = "", **tags: object
+    ) -> Optional[Dict[str, object]]:
+        """Verified memo payload, or ``None`` when absent or damaged.
+
+        A file that fails its integrity check (truncated JSON, checksum
+        or schema mismatch, legacy unversioned entry) is moved to
+        ``<cache>/quarantine/`` and treated as a miss, so a corrupt
+        cache degrades to recomputation instead of an exception.
+        """
+        if not self.use_cache or not os.path.exists(path):
+            return None
+        with get_obs().span("memo-load", kind=kind, **tags):
+            return load_or_quarantine(path, cache_dir=self.cache_dir)
 
     def _reorder_time_path(self, matrix: str, technique: str) -> str:
         return self._cache_path("reorder-time", f"{matrix}|{technique}")
@@ -386,8 +409,15 @@ class ExperimentRunner:
 
     def _load_reorder_time(self, matrix: str, technique: str) -> Optional[float]:
         path = self._reorder_time_path(matrix, technique)
-        if self.use_cache and os.path.exists(path):
-            with get_obs().span("memo-load", kind="reorder-time", matrix=matrix):
-                with open(path, "r", encoding="utf-8") as handle:
-                    return float(json.load(handle)["seconds"])
-        return None
+        payload = self._load_payload(path, kind="reorder-time", matrix=matrix)
+        if payload is None:
+            return None
+        try:
+            return float(payload["seconds"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            # Checksum-valid but structurally foreign (e.g. written by
+            # a future payload layout): quarantine and re-measure.
+            from repro.resilience.integrity import quarantine_file
+
+            quarantine_file(path, cache_dir=self.cache_dir, reason="bad payload shape")
+            return None

@@ -18,12 +18,28 @@ pipeline time), so scattering those cells across workers would
 recompute it per worker — grouping runs it exactly once, like the
 sequential path.
 
+Resilience (:mod:`repro.resilience`): every cell runs under the
+caller's :class:`~repro.resilience.RetryPolicy` and optional per-cell
+wall-clock timeout.  Transient failures — worker death, timeouts,
+injected :class:`~repro.errors.TransientError` — are retried with
+exponential backoff (a broken pool is rebuilt for the retry round);
+deterministic failures such as :class:`ValidationError` fail fast.  In
+strict mode (the default) any permanent failure raises
+:class:`~repro.errors.SweepFailure`; under ``keep_going`` it is
+recorded in the stats' :class:`~repro.resilience.FailureReport` and the
+sweep completes with partial results.  A retried group replays its
+already-finished cells as memo hits, so progress is never lost.
+Completed cell labels are checkpointed to the optional
+:class:`~repro.resilience.SweepManifest` as they finish, enabling
+``--resume`` after a kill.
+
 Observability: each worker runs its cell under a private, enabled
 :class:`Instrumentation` and ships the resulting counters and span
 totals back with the result; the parent folds them into its own
 instrumentation (:meth:`Instrumentation.merge_span_totals` /
 ``add_counters``) so ``repro profile`` and ``repro cache-stats`` stay
-truthful under parallelism.
+truthful under parallelism.  Recovery actions tick the
+``resilience.retries`` / ``resilience.cells_failed`` counters.
 
 Workers are spawned (not forked) so the path behaves identically on
 Linux, macOS and Windows and never inherits parent threads mid-state.
@@ -33,16 +49,27 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import ParallelExecutionError, ValidationError
+from repro.errors import SweepFailure, ValidationError
 from repro.experiments.runner import ExperimentRunner
 from repro.gpu.specs import PlatformSpec
 from repro.obs import Clock, Instrumentation, ProgressReporter, get_obs, logger, using
 from repro.parallel.cells import METRICS, Cell, dedupe_cells
 from repro.parallel.planner import plan_cells
+from repro.resilience import (
+    CellFailure,
+    FailureReport,
+    RetryPolicy,
+    SweepManifest,
+    cell_deadline,
+    fault_point,
+    is_transient,
+)
 
 
 @dataclass(frozen=True)
@@ -88,17 +115,26 @@ class ParallelStats:
     executed: int = 0
     skipped: int = 0
     jobs: int = 1
+    retried: int = 0
+    failed: int = 0
+    failures: FailureReport = field(default_factory=FailureReport)
 
 
 #: Per-worker-process state: the shared runner (so graphs and
-#: permutations memoize across the cells one worker handles) and the
-#: injectable clock for deterministic-timing runs.
+#: permutations memoize across the cells one worker handles), the
+#: injectable clock for deterministic-timing runs, and the per-cell
+#: wall-clock timeout.
 _WORKER: Dict[str, object] = {}
 
 
-def _init_worker(config: RunnerConfig, clock: Optional[Clock]) -> None:
+def _init_worker(
+    config: RunnerConfig,
+    clock: Optional[Clock],
+    cell_timeout: Optional[float] = None,
+) -> None:
     _WORKER["runner"] = config.make_runner()
     _WORKER["clock"] = clock
+    _WORKER["timeout"] = cell_timeout
 
 
 def _execute_one(runner: ExperimentRunner, cell: Cell) -> None:
@@ -114,13 +150,34 @@ def _execute_one(runner: ExperimentRunner, cell: Cell) -> None:
         )
 
 
+def _attempt_cell(
+    runner: ExperimentRunner, cell: Cell, cell_timeout: Optional[float]
+) -> None:
+    """One attempt at one cell: the fault site runs inside the deadline
+    so injected delays can exercise the timeout path."""
+    label = cell.label()
+    with cell_deadline(cell_timeout, label):
+        fault_point("cell.execute", label=label)
+        _execute_one(runner, cell)
+
+
 class _CellFailure(Exception):
     """Pickles a failing cell's identity across the process boundary."""
 
-    def __init__(self, label: str, detail: str):
-        super().__init__(label, detail)
+    def __init__(
+        self,
+        label: str,
+        detail: str,
+        error_type: str = "",
+        transient: bool = False,
+        tb: str = "",
+    ):
+        super().__init__(label, detail, error_type, transient, tb)
         self.label = label
         self.detail = detail
+        self.error_type = error_type
+        self.transient = transient
+        self.tb = tb
 
 
 def _group_key(cell: Cell) -> Tuple[str, str]:
@@ -143,18 +200,25 @@ def _run_group(
 
     Returns the completed cell labels plus the counter and span-total
     deltas the group caused, measured by a fresh per-group
-    instrumentation.
+    instrumentation.  A failing cell raises :class:`_CellFailure`
+    carrying its label and transient classification; on a retried group
+    the already-memoized cells replay as cache hits.
     """
     runner: ExperimentRunner = _WORKER["runner"]  # type: ignore[assignment]
     instr = Instrumentation(clock=_WORKER.get("clock"), enabled=True)  # type: ignore[arg-type]
+    timeout: Optional[float] = _WORKER.get("timeout")  # type: ignore[assignment]
     done: List[str] = []
     with using(instr):
         for cell in cells:
             try:
-                _execute_one(runner, cell)
+                _attempt_cell(runner, cell, timeout)
             except Exception as exc:
                 raise _CellFailure(
-                    cell.label(), f"{type(exc).__name__}: {exc}"
+                    cell.label(),
+                    str(exc),
+                    error_type=type(exc).__name__,
+                    transient=is_transient(exc),
+                    tb=traceback.format_exc(),
                 ) from exc
             done.append(cell.label())
     counters = instr.counters.snapshot()["counters"]
@@ -173,25 +237,77 @@ def _cell_memo_path(runner: ExperimentRunner, cell: Cell) -> str:
     )
 
 
+def _run_cell_with_retry(
+    runner: ExperimentRunner,
+    cell: Cell,
+    retry: RetryPolicy,
+    cell_timeout: Optional[float],
+    sleep: Callable[[float], None],
+) -> Optional[CellFailure]:
+    """In-process retry loop; ``None`` on success, else the failure."""
+    obs = get_obs()
+    label = cell.label()
+    for attempt in range(1, retry.max_attempts + 1):
+        try:
+            _attempt_cell(runner, cell, cell_timeout)
+            return None
+        except Exception as exc:
+            transient = is_transient(exc)
+            if transient and attempt < retry.max_attempts:
+                obs.counter("resilience.retries")
+                logger.warning(
+                    "cell %s failed transiently (%s: %s); retrying (%d/%d)",
+                    label,
+                    type(exc).__name__,
+                    exc,
+                    attempt,
+                    retry.max_attempts - 1,
+                )
+                sleep(retry.delay(attempt))
+                continue
+            return CellFailure(
+                label=label,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                attempts=attempt,
+                transient=transient,
+                traceback=traceback.format_exc(),
+            )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def execute_cells(
     cells: List[Cell],
     config: RunnerConfig,
     jobs: int,
     worker_clock: Optional[Clock] = None,
     progress: Optional[ProgressReporter] = None,
+    retry: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
+    keep_going: bool = False,
+    manifest: Optional[SweepManifest] = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> ParallelStats:
     """Precompute ``cells`` into the shared memo with ``jobs`` workers.
 
     ``jobs <= 1`` executes in-process (no pool, no spawning) — the same
-    code path a sequential driver run would take.  Any worker failure
-    raises :class:`ParallelExecutionError` naming the cell; cells are
-    never silently dropped.  ``worker_clock`` injects a deterministic
-    clock into the workers (tests use a zero-tick
-    :class:`~repro.obs.FakeClock` so timing fields memoize
+    code path a sequential driver run would take.  ``worker_clock``
+    injects a deterministic clock into the workers (tests use a
+    zero-tick :class:`~repro.obs.FakeClock` so timing fields memoize
     byte-identically across process counts).
+
+    Failure handling: transient failures retry up to
+    ``retry.max_attempts`` total attempts (default: 1, i.e. no
+    retries); a permanent failure raises :class:`SweepFailure` naming
+    the cell — or, with ``keep_going=True``, is recorded in
+    ``stats.failures`` while the rest of the sweep completes.  Either
+    way no cell is ever silently dropped.  ``manifest`` checkpoints
+    completed cell labels for ``--resume``; ``sleep`` is injectable so
+    tests assert backoff without waiting.
     """
     if jobs < 1:
         raise ValidationError(f"jobs must be >= 1, got {jobs}")
+    retry = retry if retry is not None else RetryPolicy()
     cells = dedupe_cells(cells)
     obs = get_obs()
     runner = config.make_runner()
@@ -207,11 +323,19 @@ def execute_cells(
         return stats
 
     pending = []
+    already_done: List[str] = []
     for cell in cells:
-        if os.path.exists(_cell_memo_path(runner, cell)):
+        label = cell.label()
+        if manifest is not None and label in manifest.completed_cells:
             stats.skipped += 1
+            obs.counter("resilience.cells_resumed")
+        elif os.path.exists(_cell_memo_path(runner, cell)):
+            stats.skipped += 1
+            already_done.append(label)
         else:
             pending.append(cell)
+    if manifest is not None and already_done:
+        manifest.mark_cells(already_done)
     obs.counter("parallel.cells.planned", stats.planned)
     obs.counter("parallel.cells.skipped", stats.skipped)
     if not pending:
@@ -220,8 +344,25 @@ def execute_cells(
     if jobs == 1:
         with using(Instrumentation(clock=worker_clock, enabled=True)) as instr:
             for cell in pending:
-                _execute_one(runner, cell)
+                failure = _run_cell_with_retry(
+                    runner, cell, retry, cell_timeout, sleep
+                )
+                if failure is not None:
+                    stats.failed += 1
+                    stats.failures.add(failure)
+                    get_obs().counter("resilience.cells_failed")
+                    logger.error(
+                        "cell %s failed permanently: %s: %s",
+                        failure.label,
+                        failure.error_type,
+                        failure.message,
+                    )
+                    if not keep_going:
+                        break
+                    continue
                 stats.executed += 1
+                if manifest is not None:
+                    manifest.mark_cell(cell.label())
                 if progress is not None:
                     progress.update(cell.label())
         obs.add_counters(instr.counters.snapshot()["counters"])
@@ -229,51 +370,210 @@ def execute_cells(
             {n: (t.calls, t.seconds) for n, t in instr.span_totals().items()}
         )
         obs.counter("parallel.cells.executed", stats.executed)
+        _finish(stats, keep_going, manifest)
         return stats
 
-    # Spawned workers re-import repro; keep the pool no wider than the
-    # work list so tiny sweeps don't pay for idle interpreters.
-    groups = _group_cells(pending)
+    _execute_pool(
+        pending,
+        config,
+        jobs,
+        worker_clock,
+        progress,
+        retry,
+        cell_timeout,
+        keep_going,
+        manifest,
+        sleep,
+        stats,
+    )
+    obs.counter("parallel.cells.executed", stats.executed)
+    _finish(stats, keep_going, manifest)
+    return stats
+
+
+def _finish(
+    stats: ParallelStats, keep_going: bool, manifest: Optional[SweepManifest]
+) -> None:
+    """Common sweep epilogue: persist failures, then raise or summarize."""
+    if not stats.failures:
+        return
+    if manifest is not None:
+        manifest.record_failures(stats.failures)
+    if not keep_going:
+        first = stats.failures.failures[0]
+        raise SweepFailure(
+            f"worker failed on cell {first.label}: "
+            f"{first.error_type}: {first.message}",
+            report=stats.failures,
+        )
+    logger.error("%s", stats.failures.summary_text())
+
+
+def _execute_pool(
+    pending: List[Cell],
+    config: RunnerConfig,
+    jobs: int,
+    worker_clock: Optional[Clock],
+    progress: Optional[ProgressReporter],
+    retry: RetryPolicy,
+    cell_timeout: Optional[float],
+    keep_going: bool,
+    manifest: Optional[SweepManifest],
+    sleep: Callable[[float], None],
+    stats: ParallelStats,
+) -> None:
+    """Pool execution in retry rounds: a broken pool is rebuilt, failed
+    groups re-enter the next round until their attempt budget runs out."""
+    obs = get_obs()
     context = multiprocessing.get_context("spawn")
-    n_workers = min(jobs, len(groups))
+    remaining = _group_cells(pending)
+    attempts: Dict[Tuple[Cell, ...], int] = {group: 0 for group in remaining}
+    completed: set = set()
+    round_no = 0
+
     logger.info(
         "parallel precompute: %d cells in %d groups "
-        "(%d already memoized) on %d workers",
+        "(%d already memoized) on up to %d workers",
         len(pending),
-        len(groups),
+        len(remaining),
         stats.skipped,
-        n_workers,
+        min(jobs, len(remaining)),
     )
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        mp_context=context,
-        initializer=_init_worker,
-        initargs=(config, worker_clock),
-    ) as pool:
-        futures = {pool.submit(_run_group, group): group for group in groups}
-        for future in as_completed(futures):
-            group = futures[future]
-            try:
-                done, counters, spans = future.result()
-            except BaseException as exc:
-                for other in futures:
-                    other.cancel()
-                if isinstance(exc, _CellFailure):
-                    message = f"worker failed on cell {exc.label}: {exc.detail}"
-                else:
-                    message = (
-                        f"worker failed on cell {group[0].label()}: "
-                        f"{type(exc).__name__}: {exc}"
+
+    while remaining:
+        round_no += 1
+        if round_no > 1:
+            # Back off before a retry round (attempt count is per
+            # group, but one shared pause per round keeps it simple and
+            # injectable).
+            sleep(retry.delay(round_no - 1))
+        round_groups = remaining
+        remaining = []
+        abort = False
+        # Spawned workers re-import repro; keep the pool no wider than
+        # the work list so tiny sweeps don't pay for idle interpreters.
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(round_groups)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(config, worker_clock, cell_timeout),
+        ) as pool:
+            futures = {
+                pool.submit(_run_group, group): group for group in round_groups
+            }
+            for future in as_completed(futures):
+                group = futures[future]
+                try:
+                    done, counters, spans = future.result()
+                except BaseException as exc:
+                    requeue = _handle_group_failure(
+                        group, exc, attempts, retry, keep_going, stats, config
                     )
-                raise ParallelExecutionError(message) from exc
-            obs.add_counters(counters)
-            obs.merge_span_totals(spans)
-            stats.executed += len(done)
-            if progress is not None:
-                for label in done:
-                    progress.update(label)
-    obs.counter("parallel.cells.executed", stats.executed)
-    return stats
+                    if requeue is None:
+                        abort = True
+                        for other in futures:
+                            other.cancel()
+                        break
+                    remaining.extend(requeue)
+                    continue
+                obs.add_counters(counters)
+                obs.merge_span_totals(spans)
+                fresh = [label for label in done if label not in completed]
+                completed.update(fresh)
+                stats.executed += len(fresh)
+                if manifest is not None:
+                    manifest.mark_cells(fresh)
+                if progress is not None:
+                    for label in fresh:
+                        progress.update(label)
+        if abort:
+            return
+
+
+def _handle_group_failure(
+    group: Tuple[Cell, ...],
+    exc: BaseException,
+    attempts: Dict[Tuple[Cell, ...], int],
+    retry: RetryPolicy,
+    keep_going: bool,
+    stats: ParallelStats,
+    config: RunnerConfig,
+) -> Optional[List[Tuple[Cell, ...]]]:
+    """Classify one failed group; return groups to requeue, or ``None``
+    to abort the sweep (strict mode, permanent failure recorded)."""
+    obs = get_obs()
+    attempts[group] = attempts.get(group, 0) + 1
+    if isinstance(exc, _CellFailure):
+        transient = exc.transient
+        label = exc.label
+        error_type = exc.error_type
+        message = exc.detail
+        tb = exc.tb
+    else:
+        # The worker died (BrokenProcessPool), was cancelled alongside
+        # a broken pool, or hit an unpicklable error: we cannot know
+        # which cell was at fault, so the whole group is retried.
+        transient = True
+        label = group[0].label()
+        error_type = type(exc).__name__
+        message = f"{error_type}: {exc} (worker died or pool broke)"
+        tb = ""
+
+    if transient and attempts[group] < retry.max_attempts:
+        obs.counter("resilience.retries")
+        stats.retried += 1
+        logger.warning(
+            "group %s failed transiently (%s); retry %d/%d",
+            label,
+            message,
+            attempts[group],
+            retry.max_attempts - 1,
+        )
+        return [group]
+
+    failure = CellFailure(
+        label=label,
+        error_type=error_type,
+        message=message,
+        attempts=attempts[group],
+        transient=transient,
+        traceback=tb,
+    )
+    stats.failures.add(failure)
+    stats.failed += 1
+    obs.counter("resilience.cells_failed")
+    if not keep_going:
+        return None
+
+    if isinstance(exc, _CellFailure):
+        # The failing cell is known: give the rest of the group (fresh
+        # attempt budget) another chance — each resubmission excludes
+        # one more permanently-failed cell, so this always terminates.
+        rest = tuple(cell for cell in group if cell.label() != exc.label)
+        if rest:
+            attempts.setdefault(rest, 0)
+            return [rest]
+        return []
+    # Unknown failing cell with the budget exhausted: record every cell
+    # of the group that never reached the memo, so none vanish silently.
+    runner = config.make_runner()
+    for cell in group:
+        if cell.label() == label:
+            continue
+        if not os.path.exists(_cell_memo_path(runner, cell)):
+            stats.failures.add(
+                CellFailure(
+                    label=cell.label(),
+                    error_type=error_type,
+                    message=f"group aborted: {message}",
+                    attempts=attempts[group],
+                    transient=transient,
+                    traceback="",
+                )
+            )
+            stats.failed += 1
+            obs.counter("resilience.cells_failed")
+    return []
 
 
 def precompute(
@@ -282,6 +582,10 @@ def precompute(
     jobs: int,
     worker_clock: Optional[Clock] = None,
     progress: Optional[ProgressReporter] = None,
+    retry: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
+    keep_going: bool = False,
+    manifest: Optional[SweepManifest] = None,
 ) -> ParallelStats:
     """Plan every driver's cells and execute them with ``jobs`` workers.
 
@@ -295,11 +599,18 @@ def precompute(
         jobs,
         worker_clock=worker_clock,
         progress=progress,
+        retry=retry,
+        cell_timeout=cell_timeout,
+        keep_going=keep_going,
+        manifest=manifest,
     )
     logger.info(
-        "parallel precompute done: %d executed, %d already memoized, %d planned",
+        "parallel precompute done: %d executed, %d already memoized, "
+        "%d retried, %d failed, %d planned",
         stats.executed,
         stats.skipped,
+        stats.retried,
+        stats.failed,
         stats.planned,
     )
     return stats

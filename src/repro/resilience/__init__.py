@@ -1,0 +1,79 @@
+"""repro.resilience — keep multi-minute sweeps alive through faults.
+
+A full-profile reproduction sweep is a long multi-process job; this
+package is what lets it survive crashed workers, wall-clock blowups,
+corrupted memo files and outright kills:
+
+* **retry/timeout policy** (:class:`RetryPolicy`, :func:`cell_deadline`,
+  :func:`is_transient`) — transient failures retry with exponential
+  backoff, deterministic ones fail fast;
+* **graceful degradation** (:class:`FailureReport`) — under
+  ``--keep-going`` failed cells are recorded, not fatal, and the sweep
+  ends with a loud summary;
+* **checkpoint/resume** (:class:`SweepManifest`) — completed cells are
+  journaled next to the memo cache so ``--resume`` skips finished work;
+* **cache integrity** (:mod:`repro.resilience.integrity`) — memo files
+  carry a schema-version + checksum envelope; damaged files are
+  quarantined to ``<cache>/quarantine/`` and recomputed;
+* **fault injection** (:class:`FaultPlan`, :func:`fault_point`) — a
+  deterministic harness (``REPRO_FAULT_PLAN``) that exercises all of
+  the above in tests and CI chaos jobs.
+
+Observability: ``resilience.retries``, ``resilience.quarantined``,
+``resilience.cells_failed`` (and friends) count every recovery action.
+"""
+
+from repro.resilience.checkpoint import MANIFEST_NAME, MANIFEST_VERSION, SweepManifest
+from repro.resilience.failures import CellFailure, FailureReport
+from repro.resilience.faults import (
+    ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    fault_point,
+    install_injector,
+    reset_faults,
+)
+from repro.resilience.integrity import (
+    SCHEMA_VERSION,
+    CacheScan,
+    LegacyCacheEntry,
+    load_or_quarantine,
+    load_verified,
+    payload_checksum,
+    quarantine_file,
+    quarantine_path,
+    scan_cache,
+    unwrap_document,
+    wrap_payload,
+)
+from repro.resilience.policy import RetryPolicy, cell_deadline, is_transient
+
+__all__ = [
+    "CacheScan",
+    "CellFailure",
+    "ENV_VAR",
+    "FailureReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "LegacyCacheEntry",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "RetryPolicy",
+    "SCHEMA_VERSION",
+    "SweepManifest",
+    "cell_deadline",
+    "fault_point",
+    "install_injector",
+    "is_transient",
+    "load_or_quarantine",
+    "load_verified",
+    "payload_checksum",
+    "quarantine_file",
+    "quarantine_path",
+    "reset_faults",
+    "scan_cache",
+    "unwrap_document",
+    "wrap_payload",
+]

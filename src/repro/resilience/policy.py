@@ -1,0 +1,116 @@
+"""Retry and timeout policy for pipeline cells.
+
+Two small, composable pieces:
+
+* :class:`RetryPolicy` — how many attempts a cell gets and how long to
+  back off between them (exponential with a cap).  Pure arithmetic: the
+  executor owns the actual ``sleep`` so tests can inject a recording
+  fake and assert exact delays without waiting.
+* :func:`cell_deadline` — a context manager enforcing a per-cell
+  wall-clock budget via ``SIGALRM``/``setitimer``.  On platforms or
+  threads where POSIX interval timers are unavailable the deadline
+  degrades to a no-op rather than failing the sweep.
+
+Classification lives here too: :func:`is_transient` decides whether an
+exception is worth retrying (:class:`~repro.errors.TransientError` and
+its subclasses, dead worker pools, connection hiccups) or deterministic
+(everything else — a :class:`~repro.errors.ValidationError` will fail
+identically on every attempt, so it fails fast).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import CellTimeoutError, TransientError, ValidationError
+
+#: Exception types the resilience layer considers retryable.
+TRANSIENT_TYPES = (TransientError, BrokenProcessPool, ConnectionError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when retrying the failed work might succeed."""
+    return isinstance(exc, TRANSIENT_TYPES)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget and exponential backoff schedule for one cell.
+
+    ``max_attempts`` counts the first try: the default of 1 means "no
+    retries", preserving historical fail-on-first-error behaviour.
+    ``delay(attempt)`` is the pause after the ``attempt``-th failure
+    (1-based): ``backoff_seconds * backoff_factor ** (attempt - 1)``,
+    capped at ``max_backoff_seconds``.
+    """
+
+    max_attempts: int = 1
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0:
+            raise ValidationError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    @classmethod
+    def from_retries(cls, retries: int) -> "RetryPolicy":
+        """Policy giving ``retries`` retries on top of the first attempt."""
+        return cls(max_attempts=retries + 1)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff (seconds) after the ``attempt``-th failed attempt."""
+        if attempt < 1:
+            raise ValidationError(f"attempt is 1-based, got {attempt}")
+        raw = self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+        return min(raw, self.max_backoff_seconds)
+
+
+@contextmanager
+def cell_deadline(seconds: Optional[float], label: str) -> Iterator[None]:
+    """Raise :class:`CellTimeoutError` if the block outlives ``seconds``.
+
+    Enforcement uses ``signal.setitimer(ITIMER_REAL)``, which only
+    works in the main thread of a process — exactly where cells run,
+    both in-process (``jobs=1``) and in spawned pool workers.  When
+    ``seconds`` is falsy, or interval timers are unavailable (Windows,
+    non-main threads), the block runs without a deadline.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if (
+        not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise CellTimeoutError(
+            f"cell {label} exceeded its {seconds:g}s wall-clock timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -134,3 +134,81 @@ class TestParallelCli:
             main(["run-all", "--help"])
         out = capsys.readouterr().out
         assert "--jobs" in out
+
+
+class TestDoctorCli:
+    def write_cache(self, memo, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(memo))
+        assert main(["--quiet", "metrics", "test-mesh", "--profile", "test"]) == 0
+
+    def test_clean_cache_exits_zero(self, tmp_path, capsys, monkeypatch):
+        self.write_cache(tmp_path / "memo", monkeypatch)
+        capsys.readouterr()
+        assert main(["doctor"]) == 0
+        assert "cache integrity: OK" in capsys.readouterr().out
+
+    def test_corrupt_cache_exits_nonzero_naming_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        memo = tmp_path / "memo"
+        self.write_cache(memo, monkeypatch)
+        victim = next(f for f in memo.iterdir() if f.name.startswith("metrics-"))
+        victim.write_text("{ truncated", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["doctor"]) == 1
+        captured = capsys.readouterr()
+        assert f"DAMAGED {victim.name}" in captured.out
+        assert "damaged" in captured.err
+
+    def test_quarantine_flag_moves_damaged_files(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        memo = tmp_path / "memo"
+        self.write_cache(memo, monkeypatch)
+        victim = next(f for f in memo.iterdir() if f.name.startswith("metrics-"))
+        victim.write_text("{ truncated", encoding="utf-8")
+        assert main(["doctor", "--quarantine"]) == 1
+        assert not victim.exists()
+        assert (memo / "quarantine" / victim.name).exists()
+        # The cache is healthy again once the damage is quarantined.
+        capsys.readouterr()
+        assert main(["doctor"]) == 0
+
+    def test_explicit_cache_dir_flag(self, tmp_path, capsys):
+        assert main(["doctor", "--cache-dir", str(tmp_path / "nowhere")]) == 0
+        assert "(missing)" in capsys.readouterr().out
+
+
+class TestResilienceCli:
+    def test_sweep_flags_parsed(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--retries", "--cell-timeout", "--keep-going", "--resume"):
+            assert flag in out
+
+    def test_experiment_with_resilience_flags(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        assert main(
+            [
+                "--quiet", "experiment", "fig3", "--profile", "test",
+                "--jobs", "2", "--retries", "2", "--keep-going",
+            ]
+        ) == 0
+        assert "fig3" in capsys.readouterr().out
+        manifest = tmp_path / "memo" / "sweep-manifest.json"
+        assert manifest.exists()
+
+    def test_resume_reuses_manifest(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        assert main(
+            ["--quiet", "experiment", "fig3", "--profile", "test", "--jobs", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "--quiet", "experiment", "fig3", "--profile", "test",
+                "--jobs", "2", "--resume",
+            ]
+        ) == 0
+        assert "fig3" in capsys.readouterr().out

@@ -219,3 +219,26 @@ class TestSerialization:
         metrics = runner.matrix_metrics("test-mesh")
         payload = json.loads(json.dumps(metrics.to_json()))
         assert MatrixMetrics.from_json(payload) == metrics
+
+
+class TestTolerantCacheReads:
+    """A truncated or invalid memo file must never crash the runner."""
+
+    def test_truncated_cache_entry_quarantined_and_recomputed(self, runner):
+        metrics = runner.matrix_metrics("test-mesh")
+        path = runner.metrics_cache_path("test-mesh")
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        fresh = ExperimentRunner(profile="test", cache_dir=runner.cache_dir)
+        assert fresh.matrix_metrics("test-mesh") == metrics
+        quarantine = os.path.join(runner.cache_dir, "quarantine")
+        assert os.path.basename(path) in os.listdir(quarantine)
+
+    def test_invalid_json_cache_entry_recomputed(self, runner):
+        record = runner.run("test-mesh", "original")
+        names = [n for n in os.listdir(runner.cache_dir) if n.startswith("run-")]
+        with open(os.path.join(runner.cache_dir, names[0]), "w") as handle:
+            handle.write("{ not json")
+        fresh = ExperimentRunner(profile="test", cache_dir=runner.cache_dir)
+        redone = fresh.run("test-mesh", "original")
+        assert redone.normalized_traffic == record.normalized_traffic

@@ -98,3 +98,58 @@ class TestRoundTrip:
         path = tmp_path / "mesh.mtx"
         write_matrix_market(matrix, str(path))
         assert read_matrix_market(str(path)) == matrix
+
+
+class TestErrorLocations:
+    """Parse errors name the source path and 1-based line number."""
+
+    def test_bad_entry_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment\n"
+            "2 2 2\n"
+            "1 1 3.5\n"
+            "2 oops 1.0\n"
+        )
+        with pytest.raises(FormatError, match=rf"{path}:5: "):
+            read_matrix_market(str(path))
+
+    def test_non_numeric_value_names_line(self, tmp_path):
+        path = tmp_path / "bad-value.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "1 1 1\n"
+            "1 1 zero\n"
+        )
+        with pytest.raises(FormatError, match=rf"{path}:3: non-numeric value"):
+            read_matrix_market(str(path))
+
+    def test_bad_size_line_names_line(self, tmp_path):
+        path = tmp_path / "bad-size.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment line\n"
+            "two by two\n"
+        )
+        with pytest.raises(FormatError, match=rf"{path}:3: "):
+            read_matrix_market(str(path))
+
+    def test_truncated_file_names_last_line(self, tmp_path):
+        path = tmp_path / "short.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 3\n"
+            "1 1 1.0\n"
+        )
+        with pytest.raises(FormatError, match=rf"{path}:3: file ended after 1 of 3"):
+            read_matrix_market(str(path))
+
+    def test_stream_errors_use_stream_marker(self):
+        bad = io.StringIO("%%MatrixMarket matrix coordinate real general\n1 1\n")
+        with pytest.raises(FormatError, match=r"<stream>:2: "):
+            read_matrix_market(bad)
+
+    def test_bad_header_is_line_one(self):
+        with pytest.raises(FormatError, match=r"<stream>:1: not a Matrix Market"):
+            read_matrix_market(io.StringIO("garbage\n"))

@@ -1,0 +1,664 @@
+"""repro.resilience: retries, timeouts, integrity, checkpoint, faults.
+
+The acceptance-level scenarios live here too:
+
+* kill-resume equivalence — a sweep interrupted by an injected worker
+  kill and resumed produces memo bytes identical to an uninterrupted
+  run, re-executing only unfinished cells;
+* corrupt-cache recovery — with a slice of memo files randomly
+  truncated/bit-flipped, a sweep completes, quarantines exactly the
+  damaged files, and matches a clean-cache run;
+* worker-crash recovery — a worker killed mid-group under ``jobs=2``
+  with retries yields byte-identical output to a clean sequential run.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.errors import (
+    CacheIntegrityError,
+    CellTimeoutError,
+    ParallelExecutionError,
+    SweepFailure,
+    TransientError,
+    ValidationError,
+)
+from repro.experiments import fig3
+from repro.experiments.runner import ExperimentRunner
+from repro.obs import FakeClock, Instrumentation, using
+from repro.parallel import RunnerConfig, execute_cells, metrics_cell, plan_cells, run_cell
+from repro.resilience import (
+    CellFailure,
+    FailureReport,
+    FaultInjector,
+    FaultPlan,
+    LegacyCacheEntry,
+    RetryPolicy,
+    SweepManifest,
+    cell_deadline,
+    fault_point,
+    install_injector,
+    is_transient,
+    load_or_quarantine,
+    load_verified,
+    quarantine_path,
+    reset_faults,
+    scan_cache,
+    unwrap_document,
+    wrap_payload,
+)
+
+EQUIVALENCE_DRIVERS = {"fig3": fig3.run}
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    reset_faults()
+    yield
+    reset_faults()
+
+
+def memo_files(cache_dir):
+    """{filename: bytes} of memo files, excluding manifest/quarantine."""
+    out = {}
+    for name in sorted(os.listdir(cache_dir)):
+        path = os.path.join(cache_dir, name)
+        if name == "sweep-manifest.json" or not os.path.isfile(path):
+            continue
+        with open(path, "rb") as handle:
+            out[name] = handle.read()
+    return out
+
+
+def install_plan(document):
+    """Install an in-process fault injector from a plan document."""
+    install_injector(FaultInjector(FaultPlan.from_document(document)))
+
+
+class TestRetryPolicy:
+    def test_defaults_mean_no_retries(self):
+        assert RetryPolicy().max_attempts == 1
+        assert RetryPolicy.from_retries(2).max_attempts == 3
+
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_seconds=1.0, backoff_factor=4.0,
+            max_backoff_seconds=10.0,
+        )
+        assert [policy.delay(a) for a in (1, 2, 3, 4)] == [1.0, 4.0, 10.0, 10.0]
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy().delay(0)
+
+    def test_transient_classification(self):
+        assert is_transient(TransientError("x"))
+        assert is_transient(CellTimeoutError("x"))
+        assert is_transient(CacheIntegrityError("x"))
+        assert not is_transient(ValidationError("x"))
+        assert not is_transient(RuntimeError("x"))
+
+
+class TestCellDeadline:
+    def test_fast_block_unaffected(self):
+        with cell_deadline(5.0, "cell"):
+            total = sum(range(100))
+        assert total == 4950
+
+    def test_slow_block_times_out(self):
+        import time
+
+        with pytest.raises(CellTimeoutError, match="slow-cell"):
+            with cell_deadline(0.05, "slow-cell"):
+                time.sleep(5.0)
+
+    def test_none_disables_enforcement(self):
+        with cell_deadline(None, "cell"):
+            pass
+
+
+class TestIntegrityEnvelope:
+    def test_wrap_verify_roundtrip(self):
+        payload = {"a": 1, "b": [1, 2, 3]}
+        assert unwrap_document(wrap_payload(payload)) == payload
+
+    def test_checksum_mismatch_detected(self):
+        document = wrap_payload({"a": 1})
+        document["payload"]["a"] = 2
+        with pytest.raises(CacheIntegrityError, match="checksum"):
+            unwrap_document(document)
+
+    def test_schema_version_mismatch_detected(self):
+        document = wrap_payload({"a": 1})
+        document["__repro_cache__"]["schema"] = 999
+        with pytest.raises(CacheIntegrityError, match="schema"):
+            unwrap_document(document)
+
+    def test_legacy_entry_is_its_own_type(self):
+        with pytest.raises(LegacyCacheEntry):
+            unwrap_document({"a": 1})
+
+    def test_load_verified_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(wrap_payload({"x": 1.5}), handle)
+        assert load_verified(path) == {"x": 1.5}
+
+    def test_truncated_file_quarantined(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        path = str(cache / "entry.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(wrap_payload({"x": 1}))[:20])
+        with using(Instrumentation(enabled=True)) as instr:
+            assert load_or_quarantine(path, cache_dir=str(cache)) is None
+        assert not os.path.exists(path)
+        assert os.listdir(quarantine_path(str(cache))) == ["entry.json"]
+        assert instr.counters.get("resilience.quarantined") == 1
+
+    def test_quarantine_name_collisions_suffixed(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        for _ in range(2):
+            path = str(cache / "entry.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("garbage")
+            assert load_or_quarantine(path, cache_dir=str(cache)) is None
+        assert sorted(os.listdir(quarantine_path(str(cache)))) == [
+            "entry.json",
+            "entry.json.1",
+        ]
+
+    def test_scan_cache_classifies(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        with open(cache / "good.json", "w", encoding="utf-8") as handle:
+            json.dump(wrap_payload({"ok": True}), handle)
+        with open(cache / "legacy.json", "w", encoding="utf-8") as handle:
+            json.dump({"old": True}, handle)
+        with open(cache / "bad.json", "w", encoding="utf-8") as handle:
+            handle.write("{ nope")
+        scan = scan_cache(str(cache))
+        assert scan.ok == ["good.json"]
+        assert scan.legacy == ["legacy.json"]
+        assert [name for name, _ in scan.damaged] == ["bad.json"]
+        assert not scan.healthy
+
+
+class TestRunnerCacheRecovery:
+    """A damaged memo never crashes the runner — quarantine + recompute."""
+
+    def damage_one(self, cache_dir, prefix):
+        names = [n for n in os.listdir(cache_dir) if n.startswith(prefix)]
+        assert names, f"no {prefix} memo written"
+        path = os.path.join(cache_dir, names[0])
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        return names[0]
+
+    def test_truncated_run_entry_recomputed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        runner = ExperimentRunner(profile="test", cache_dir=cache)
+        with using(Instrumentation(enabled=True, clock=FakeClock())):
+            clean = runner.run("test-mesh", "degsort")
+        damaged_name = self.damage_one(cache, "run-")
+
+        fresh = ExperimentRunner(profile="test", cache_dir=cache)
+        with using(Instrumentation(enabled=True, clock=FakeClock())) as instr:
+            recomputed = fresh.run("test-mesh", "degsort")
+        assert recomputed.to_json() == clean.to_json()
+        assert instr.counters.get("resilience.quarantined") == 1
+        assert instr.counters.get("memo.run.miss") == 1
+        assert damaged_name in os.listdir(quarantine_path(cache))
+        # The recomputed entry is valid again.
+        assert load_verified(os.path.join(cache, damaged_name))
+
+    def test_truncated_metrics_entry_recomputed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        runner = ExperimentRunner(profile="test", cache_dir=cache)
+        clean = runner.matrix_metrics("test-mesh")
+        self.damage_one(cache, "metrics-")
+        fresh = ExperimentRunner(profile="test", cache_dir=cache)
+        assert fresh.matrix_metrics("test-mesh").to_json() == clean.to_json()
+
+    def test_truncated_reorder_time_remeasured(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        runner = ExperimentRunner(profile="test", cache_dir=cache)
+        runner.run("test-mesh", "degsort")
+        self.damage_one(cache, "reorder-time-")
+        fresh = ExperimentRunner(profile="test", cache_dir=cache)
+        assert fresh.reorder_seconds("test-mesh", "degsort") >= 0.0
+
+    def test_legacy_unversioned_entry_quarantined_once(self, tmp_path):
+        """Pre-envelope cache entries are migrated by quarantine."""
+        cache = str(tmp_path / "cache")
+        runner = ExperimentRunner(profile="test", cache_dir=cache)
+        clean = runner.matrix_metrics("test-mesh")
+        path = runner.metrics_cache_path("test-mesh")
+        # Rewrite as a legacy (raw payload, no envelope) entry.
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(clean.to_json(), handle)
+        fresh = ExperimentRunner(profile="test", cache_dir=cache)
+        assert fresh.matrix_metrics("test-mesh").to_json() == clean.to_json()
+        assert os.path.basename(path) in os.listdir(quarantine_path(cache))
+        # Second read: the rewritten entry verifies, nothing new quarantined.
+        again = ExperimentRunner(profile="test", cache_dir=cache)
+        with using(Instrumentation(enabled=True)) as instr:
+            again.matrix_metrics("test-mesh")
+        assert instr.counters.get("resilience.quarantined") == 0
+        assert instr.counters.get("memo.metrics.hit") == 1
+
+
+class TestSweepManifest:
+    def test_roundtrip(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        manifest = SweepManifest.for_sweep(cache, "test")
+        manifest.mark_cells(["a", "b"])
+        manifest.mark_driver("fig3")
+        loaded = SweepManifest.load(cache, "test")
+        assert loaded.completed_cells == {"a", "b"}
+        assert loaded.completed_drivers == {"fig3"}
+
+    def test_profile_mismatch_ignored(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        SweepManifest.for_sweep(cache, "test").mark_cell("a")
+        assert SweepManifest.load(cache, "bench") is None
+        resumed = SweepManifest.for_sweep(cache, "bench", resume=True)
+        assert resumed.completed_cells == set()
+
+    def test_damaged_manifest_starts_fresh(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        manifest = SweepManifest.for_sweep(cache, "test")
+        manifest.mark_cell("a")
+        with open(manifest.path, "w", encoding="utf-8") as handle:
+            handle.write("{ damaged")
+        resumed = SweepManifest.for_sweep(cache, "test", resume=True)
+        assert resumed.completed_cells == set()
+        assert os.path.isdir(quarantine_path(cache))
+
+    def test_failures_persisted(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        manifest = SweepManifest.for_sweep(cache, "test")
+        report = FailureReport()
+        report.add(CellFailure("m/t/k", "TransientError", "boom", 3, True))
+        manifest.record_failures(report)
+        loaded = SweepManifest.load(cache, "test")
+        assert loaded.failures.labels() == ["m/t/k"]
+        # Resuming clears prior failures so they retry.
+        resumed = SweepManifest.for_sweep(cache, "test", resume=True)
+        assert not resumed.failures
+
+
+class TestFaultPlan:
+    def test_parse_inline_and_file(self, tmp_path):
+        document = {"faults": [{"site": "cell.execute", "action": "raise"}]}
+        inline = FaultPlan.parse(json.dumps(document))
+        assert inline.rules[0].site == "cell.execute"
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        from_file = FaultPlan.parse(str(path))
+        assert from_file.rules[0].action == "raise"
+
+    def test_malformed_plans_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultPlan.parse("not json {{{")
+        with pytest.raises(ValidationError):
+            FaultPlan.from_document({"faults": [{"site": "x", "action": "explode"}]})
+        with pytest.raises(ValidationError):
+            FaultPlan.from_document({"faults": [{"site": "x", "action": "raise",
+                                                 "exception": "nope"}]})
+        with pytest.raises(ValidationError):
+            FaultPlan.from_document(
+                {"faults": [{"site": "x", "action": "raise", "bogus_key": 1}]}
+            )
+
+    def test_times_limits_firing(self):
+        plan = FaultPlan.from_document(
+            {"faults": [{"site": "s", "action": "raise", "times": 2}]}
+        )
+        injector = FaultInjector(plan)
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                injector.fire("s", label="cell")
+        injector.fire("s", label="cell")  # budget exhausted: no fault
+
+    def test_match_filters_by_label(self):
+        plan = FaultPlan.from_document(
+            {"faults": [{"site": "s", "action": "raise", "match": "soc-"}]}
+        )
+        injector = FaultInjector(plan)
+        injector.fire("s", label="web-graph/rabbit")  # no match, no fault
+        with pytest.raises(TransientError):
+            injector.fire("s", label="soc-forum/rabbit")
+
+    def test_state_dir_shares_budget_across_injectors(self, tmp_path):
+        document = {
+            "state_dir": str(tmp_path / "state"),
+            "faults": [{"site": "s", "action": "raise", "times": 1}],
+        }
+        first = FaultInjector(FaultPlan.from_document(document))
+        second = FaultInjector(FaultPlan.from_document(document))
+        with pytest.raises(TransientError):
+            first.fire("s", label="cell")
+        second.fire("s", label="cell")  # the shared budget is spent
+
+    def test_corrupt_action_truncates_file(self, tmp_path):
+        victim = tmp_path / "memo.json"
+        victim.write_text(json.dumps(wrap_payload({"x": 1})), encoding="utf-8")
+        size = victim.stat().st_size
+        install_plan({"faults": [{"site": "memo.write", "action": "corrupt"}]})
+        fault_point("memo.write", path=str(victim))
+        assert victim.stat().st_size == size // 2
+
+    def test_env_plan_parsed_once_per_value(self, monkeypatch, tmp_path):
+        from repro.resilience.faults import get_injector
+
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert get_injector() is None
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN",
+            json.dumps({"faults": [{"site": "s", "action": "delay", "seconds": 0}]}),
+        )
+        injector = get_injector()
+        assert injector is not None
+        assert get_injector() is injector
+
+
+class TestExecutorRetries:
+    """In-process (jobs=1) retry/timeout/keep-going semantics."""
+
+    def run_cells(self, tmp_path, cells, **kwargs):
+        config = RunnerConfig("test", str(tmp_path / "memo"))
+        sleeps = []
+        with using(Instrumentation(enabled=True)) as instr:
+            stats = execute_cells(
+                cells, config, jobs=1, sleep=sleeps.append, **kwargs
+            )
+        return stats, sleeps, instr
+
+    def test_transient_fault_retried_to_success(self, tmp_path):
+        install_plan(
+            {"faults": [{"site": "cell.execute", "action": "raise",
+                         "exception": "transient", "times": 2}]}
+        )
+        stats, sleeps, instr = self.run_cells(
+            tmp_path,
+            [metrics_cell("test-mesh")],
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.5),
+        )
+        assert stats.executed == 1
+        assert stats.failed == 0
+        assert sleeps == [0.5, 1.0]
+        assert instr.counters.get("resilience.retries") == 2
+
+    def test_retries_exhausted_raises_sweep_failure(self, tmp_path):
+        install_plan(
+            {"faults": [{"site": "cell.execute", "action": "raise",
+                         "exception": "transient", "times": 99}]}
+        )
+        with pytest.raises(SweepFailure) as excinfo:
+            self.run_cells(
+                tmp_path,
+                [metrics_cell("test-mesh")],
+                retry=RetryPolicy(max_attempts=2),
+            )
+        report = excinfo.value.report
+        assert report.labels() == ["metrics:test-mesh"]
+        assert report.failures[0].attempts == 2
+        assert report.failures[0].transient
+
+    def test_validation_error_fails_fast_without_retry(self, tmp_path):
+        install_plan(
+            {"faults": [{"site": "cell.execute", "action": "raise",
+                         "exception": "validation", "times": 99}]}
+        )
+        with pytest.raises(SweepFailure) as excinfo:
+            self.run_cells(
+                tmp_path,
+                [metrics_cell("test-mesh")],
+                retry=RetryPolicy(max_attempts=5),
+            )
+        failure = excinfo.value.report.failures[0]
+        assert failure.attempts == 1  # deterministic: no retry burned
+        assert not failure.transient
+
+    def test_keep_going_records_and_continues(self, tmp_path):
+        install_plan(
+            {"faults": [{"site": "cell.execute", "action": "raise",
+                         "exception": "validation", "match": "degsort",
+                         "times": 99}]}
+        )
+        cells = [
+            run_cell("test-mesh", "degsort"),
+            run_cell("test-mesh", "original"),
+            metrics_cell("test-mesh"),
+        ]
+        stats, _sleeps, instr = self.run_cells(tmp_path, cells, keep_going=True)
+        assert stats.executed == 2
+        assert stats.failed == 1
+        assert stats.failures.labels() == ["test-mesh/degsort/spmv-csr/lru/none"]
+        assert instr.counters.get("resilience.cells_failed") == 1
+        assert "PARTIAL" in stats.failures.summary_text()
+
+    def test_timeout_via_injected_delay_is_transient(self, tmp_path):
+        install_plan(
+            {"faults": [{"site": "cell.execute", "action": "delay",
+                         "seconds": 5.0, "times": 1}]}
+        )
+        stats, _sleeps, instr = self.run_cells(
+            tmp_path,
+            [metrics_cell("test-mesh")],
+            retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+            cell_timeout=0.1,
+        )
+        # First attempt times out (CellTimeoutError, transient), the
+        # retry finds the delay budget spent and completes.
+        assert stats.executed == 1
+        assert instr.counters.get("resilience.retries") == 1
+
+    def test_manifest_checkpoints_completed_cells(self, tmp_path):
+        cache = str(tmp_path / "memo")
+        manifest = SweepManifest.for_sweep(cache, "test")
+        cells = [metrics_cell("test-mesh"), run_cell("test-mesh", "original")]
+        execute_cells(cells, RunnerConfig("test", cache), jobs=1, manifest=manifest)
+        loaded = SweepManifest.load(cache, "test")
+        assert loaded.completed_cells == {c.label() for c in cells}
+
+    def test_resume_skips_manifest_cells_without_stat(self, tmp_path):
+        cache = str(tmp_path / "memo")
+        cells = [metrics_cell("test-mesh")]
+        manifest = SweepManifest.for_sweep(cache, "test")
+        execute_cells(cells, RunnerConfig("test", cache), jobs=1, manifest=manifest)
+        resumed = SweepManifest.for_sweep(cache, "test", resume=True)
+        with using(Instrumentation(enabled=True)) as instr:
+            stats = execute_cells(
+                cells, RunnerConfig("test", cache), jobs=1, manifest=resumed
+            )
+        assert stats.skipped == 1
+        assert stats.executed == 0
+        assert instr.counters.get("resilience.cells_resumed") == 1
+
+
+class TestKillResumeEquivalence:
+    """Acceptance: interrupted + resumed == uninterrupted, byte for byte."""
+
+    def test_kill_then_resume_matches_uninterrupted(self, tmp_path, monkeypatch):
+        cells = plan_cells(EQUIVALENCE_DRIVERS, "test")
+        interrupted = str(tmp_path / "interrupted")
+        clean = str(tmp_path / "clean")
+
+        # Phase 1: strict run with an injected hard failure partway
+        # through (in-process kill degrades to TransientError; with no
+        # retry budget that kills the sweep like a SIGKILL would).
+        install_plan(
+            {"faults": [{"site": "cell.execute", "action": "kill",
+                         "match": "test-kmer", "times": 99}]}
+        )
+        manifest = SweepManifest.for_sweep(interrupted, "test")
+        with pytest.raises(SweepFailure):
+            execute_cells(
+                cells,
+                RunnerConfig("test", interrupted),
+                jobs=1,
+                worker_clock=FakeClock(),
+                manifest=manifest,
+            )
+        done_before = set(SweepManifest.load(interrupted, "test").completed_cells)
+        assert 0 < len(done_before) < len(cells)
+
+        # Phase 2: faults cleared, resume. Only unfinished cells run.
+        reset_faults()
+        resumed = SweepManifest.for_sweep(interrupted, "test", resume=True)
+        with using(Instrumentation(enabled=True)) as instr:
+            stats = execute_cells(
+                cells,
+                RunnerConfig("test", interrupted),
+                jobs=1,
+                worker_clock=FakeClock(),
+                manifest=resumed,
+            )
+        assert stats.skipped == len(done_before)
+        assert stats.executed == len(cells) - len(done_before)
+        assert instr.counters.get("resilience.cells_resumed") == len(done_before)
+
+        # Uninterrupted reference run.
+        execute_cells(
+            cells, RunnerConfig("test", clean), jobs=1, worker_clock=FakeClock()
+        )
+        assert memo_files(interrupted) == memo_files(clean)
+
+
+class TestCorruptCacheRecovery:
+    """Acceptance: 10% of memo files damaged -> quarantine + identical results."""
+
+    def test_sweep_completes_over_randomly_damaged_cache(self, tmp_path):
+        cells = plan_cells(EQUIVALENCE_DRIVERS, "test")
+        cache = str(tmp_path / "memo")
+        config = RunnerConfig("test", cache)
+        execute_cells(cells, config, jobs=1, worker_clock=FakeClock())
+        clean_bytes = memo_files(cache)
+
+        rng = random.Random(42)
+        # Damage only files the fig3 replay actually reads (reorder-time
+        # entries are bookkeeping the driver never touches).
+        names = sorted(
+            n for n in clean_bytes
+            if n.startswith("run-") or n.startswith("metrics-")
+        )
+        damaged = rng.sample(names, max(2, len(names) // 10))
+        for name in damaged:
+            path = os.path.join(cache, name)
+            if rng.random() < 0.5:
+                with open(path, "r+b") as handle:
+                    handle.truncate(os.path.getsize(path) // 2)
+            else:
+                data = bytearray(clean_bytes[name])
+                data[len(data) // 2] ^= 0xFF
+                with open(path, "wb") as handle:
+                    handle.write(bytes(data))
+
+        # The sweep must complete without raising: executor skips the
+        # (existing) files, the driver replay quarantines + recomputes.
+        with using(Instrumentation(enabled=True)) as instr:
+            report = fig3.run(
+                profile="test",
+                runner=ExperimentRunner("test", cache_dir=cache),
+            )
+        assert instr.counters.get("resilience.quarantined") == len(damaged)
+        quarantined = os.listdir(quarantine_path(cache))
+        assert sorted(quarantined) == sorted(damaged)
+
+        # Recompute wrote fresh valid entries; results match a clean run.
+        with using(Instrumentation(enabled=True, clock=FakeClock())):
+            reference = fig3.run(
+                profile="test",
+                runner=ExperimentRunner("test", cache_dir=str(tmp_path / "ref")),
+            )
+        assert report.rows == reference.rows
+        assert report.summary == reference.summary
+
+
+class TestWorkerCrashRecovery:
+    """Acceptance: a worker killed mid-group under jobs=2 retries to a
+    byte-identical memo vs a clean sequential run."""
+
+    def test_killed_worker_retried_byte_identical(self, tmp_path, monkeypatch):
+        cells = plan_cells(EQUIVALENCE_DRIVERS, "test")
+        par_dir = str(tmp_path / "par")
+        seq_dir = str(tmp_path / "seq")
+
+        plan = {
+            "state_dir": str(tmp_path / "fault-state"),
+            "faults": [{"site": "cell.execute", "action": "kill", "times": 1}],
+        }
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan), encoding="utf-8")
+        monkeypatch.setenv("REPRO_FAULT_PLAN", str(plan_path))
+
+        with using(Instrumentation(enabled=True)) as instr:
+            stats = execute_cells(
+                cells,
+                RunnerConfig("test", par_dir),
+                jobs=2,
+                worker_clock=FakeClock(),
+                retry=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+            )
+        assert stats.failed == 0
+        assert stats.retried >= 1
+        assert instr.counters.get("resilience.retries") >= 1
+        # The kill fired exactly once (cross-process state dir).
+        assert os.listdir(plan["state_dir"]) == ["fault-0-0"]
+
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        reset_faults()
+        execute_cells(
+            cells, RunnerConfig("test", seq_dir), jobs=1, worker_clock=FakeClock()
+        )
+        assert memo_files(par_dir) == memo_files(seq_dir)
+
+    def test_strict_mode_still_raises_parallel_execution_error(self, tmp_path):
+        bogus = metrics_cell("no-such-matrix")
+        with pytest.raises(ParallelExecutionError, match="no-such-matrix"):
+            execute_cells(
+                [bogus], RunnerConfig("test", str(tmp_path / "memo")), jobs=2
+            )
+
+
+class TestRunAllResilience:
+    def test_keep_going_records_driver_failure(self, tmp_path, monkeypatch):
+        import repro.experiments.run_all as run_all_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+
+        def exploding_driver(profile="test", runner=None):
+            raise RuntimeError("driver blew up")
+
+        monkeypatch.setattr(
+            run_all_module,
+            "DRIVERS",
+            {"boom": exploding_driver, "fig3": fig3.run},
+        )
+        reports = run_all_module.run_all(profile="test", keep_going=True)
+        assert [r.experiment for r in reports] == ["fig3"]
+        manifest = SweepManifest.load(str(tmp_path / "memo"), "test")
+        assert manifest.failures.labels() == ["driver:boom"]
+        assert manifest.completed_drivers == {"fig3"}
+
+    def test_strict_mode_propagates_driver_failure(self, tmp_path, monkeypatch):
+        import repro.experiments.run_all as run_all_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+
+        def exploding_driver(profile="test", runner=None):
+            raise RuntimeError("driver blew up")
+
+        monkeypatch.setattr(run_all_module, "DRIVERS", {"boom": exploding_driver})
+        with pytest.raises(RuntimeError, match="driver blew up"):
+            run_all_module.run_all(profile="test")
