@@ -8,6 +8,8 @@ Examples::
     repro experiment fig2 --profile bench
     repro export soc-forum /tmp/soc-forum.mtx
     repro profile soc-forum --technique rabbit
+    repro bench-reorder --smoke --json BENCH_reorder.json
+    repro evaluate soc-forum --technique rabbit --reorder-impl reference
     repro cache-stats
     repro doctor
     repro run-all --jobs 4 --retries 2 --cell-timeout 120 --keep-going
@@ -46,6 +48,8 @@ from repro.obs import (
     format_span_totals,
     get_obs,
 )
+from repro.reorder.benchreorder import BENCH_TECHNIQUES
+from repro.reorder.dispatch import IMPLS
 from repro.reorder.registry import available_techniques
 
 LOG_LEVELS = ("debug", "info", "warning", "error")
@@ -131,6 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--kernel", default="spmv-csr")
     evaluate.add_argument("--policy", default="lru", choices=["lru", "belady"])
     evaluate.add_argument("--profile", default="full", choices=PROFILES)
+    _add_reorder_impl_flag(evaluate)
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a paper artifact")
@@ -144,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also render an ASCII bar chart over the first numeric column",
     )
     _add_sweep_flags(experiment)
+    _add_reorder_impl_flag(experiment)
     experiment.set_defaults(handler=_cmd_experiment)
 
     run_all = subparsers.add_parser(
@@ -156,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also render an ASCII bar chart over the first numeric column",
     )
     _add_sweep_flags(run_all)
+    _add_reorder_impl_flag(run_all)
     run_all.set_defaults(handler=_cmd_run_all)
 
     doctor = subparsers.add_parser(
@@ -183,6 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--kernel", default="spmv-csr")
     profile.add_argument("--policy", default="lru", choices=["lru", "belady"])
     profile.add_argument("--profile", default="full", choices=PROFILES)
+    _add_reorder_impl_flag(profile)
     profile.set_defaults(handler=_cmd_profile)
 
     cache_stats = subparsers.add_parser(
@@ -216,12 +224,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_sim.set_defaults(handler=_cmd_bench_sim)
 
+    bench_reorder = subparsers.add_parser(
+        "bench-reorder",
+        help="benchmark the reference vs fast reordering engines",
+    )
+    bench_reorder.add_argument(
+        "--smoke", action="store_true", help="small workload for CI (seconds, not minutes)"
+    )
+    bench_reorder.add_argument(
+        "--technique",
+        default="all",
+        choices=["all", "detect"] + list(BENCH_TECHNIQUES),
+        help="benchmark one technique, 'detect' for detection only, or 'all'",
+    )
+    bench_reorder.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best is kept)"
+    )
+    bench_reorder.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the BENCH_reorder.json payload to PATH",
+    )
+    bench_reorder.set_defaults(handler=_cmd_bench_reorder)
+
     version = subparsers.add_parser("version", help="print the package version")
     version.set_defaults(handler=_cmd_version)
 
     techniques = subparsers.add_parser("techniques", help="list reordering techniques")
     techniques.set_defaults(handler=_cmd_techniques)
     return parser
+
+
+def _add_reorder_impl_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reorder-impl",
+        default=None,
+        choices=IMPLS,
+        help="reordering engine: 'fast' (vectorized), 'reference', or "
+        "'auto' by graph size (default; also via $REPRO_REORDER_IMPL); "
+        "permutations are bit-identical across engines",
+    )
 
 
 def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
@@ -292,7 +335,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(args.profile)
+    runner = ExperimentRunner(args.profile, reorder_impl=args.reorder_impl)
     record = runner.run(
         args.matrix, args.technique, kernel=args.kernel, policy=args.policy
     )
@@ -311,7 +354,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     names = sorted(DRIVERS) if args.name == "all" else [args.name]
-    runner = ExperimentRunner(args.profile)
+    runner = ExperimentRunner(
+        args.profile, reorder_impl=getattr(args, "reorder_impl", None)
+    )
     jobs = getattr(args, "jobs", 1)
     retry = RetryPolicy.from_retries(getattr(args, "retries", 0))
     cell_timeout = getattr(args, "cell_timeout", None)
@@ -414,7 +459,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     """One uncached pipeline run under a dedicated instrumentation."""
     instr = Instrumentation(enabled=True)
     with obs.using(instr):
-        runner = ExperimentRunner(args.profile, use_cache=False)
+        runner = ExperimentRunner(
+            args.profile, use_cache=False, reorder_impl=args.reorder_impl
+        )
         with instr.span("profile") as wall:
             record = runner.run(
                 args.matrix, args.technique, kernel=args.kernel, policy=args.policy
@@ -427,6 +474,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     print(format_span_totals(totals, total_seconds=wall.seconds))
     print()
+    _print_reorder_breakdown(runner, args, totals)
     print(f"wall seconds        {wall.seconds:.4f}")
     print("traffic breakdown:")
     for key in (
@@ -442,6 +490,44 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     ):
         print(f"  {key:24s} {getattr(record, key)}")
     return 0
+
+
+def _print_reorder_breakdown(runner, args: argparse.Namespace, totals) -> None:
+    """Reorder-phase split of one profiled run, from the span totals.
+
+    The ``reorder`` span wraps the whole permutation computation; the
+    nested ``reorder-detect`` span covers community detection for the
+    detector-backed techniques (rabbit/rabbit++/louvain), so the
+    difference is ordering/assembly work (dendrogram DFS, grouping,
+    permutation inversion).
+    """
+    from repro.reorder.dispatch import resolve_for_graph, resolve_impl
+
+    reorder = totals.get("reorder")
+    if reorder is None:
+        return
+    graph = runner.graph(args.matrix)
+    if args.technique == "louvain" and resolve_impl(args.reorder_impl) == "auto":
+        # Louvain resolves "auto" to the reference engine (see
+        # repro.community.louvain.louvain).
+        resolved = "reference"
+    else:
+        resolved = resolve_for_graph(
+            args.reorder_impl, graph.n_nodes, graph.n_edges
+        )
+    detect = totals.get("reorder-detect")
+    print(f"reorder phase breakdown (impl={resolved}):")
+    print(f"  {'total reorder':24s} {reorder.seconds:.4f}s")
+    if detect is not None:
+        print(f"  {'community detection':24s} {detect.seconds:.4f}s")
+        print(
+            f"  {'ordering/assembly':24s} "
+            f"{max(reorder.seconds - detect.seconds, 0.0):.4f}s"
+        )
+    permute = totals.get("permute")
+    if permute is not None:
+        print(f"  {'permutation apply':24s} {permute.seconds:.4f}s")
+    print()
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
@@ -549,6 +635,46 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     print(render_table(["policy", "impl", "seconds", "accesses/s"], rows))
     for policy, speedup in payload["speedups"].items():
         print(f"{policy}: fast is {speedup:.1f}x reference (identical CacheStats)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_bench_reorder(args: argparse.Namespace) -> int:
+    from repro.reorder.benchreorder import (
+        DETECT_ROW,
+        build_bench_graphs,
+        run_bench,
+    )
+
+    detect_graph, technique_graph = build_bench_graphs(smoke=args.smoke)
+    if args.technique == "all":
+        techniques = BENCH_TECHNIQUES
+    elif args.technique == "detect":
+        techniques = ()
+    else:
+        techniques = (args.technique,)
+    print(
+        f"detection workload: {detect_graph.n_nodes} nodes, "
+        f"{detect_graph.to_undirected().adjacency.nnz} symmetric nnz"
+    )
+    print(
+        f"technique workload: {technique_graph.n_nodes} nodes, "
+        f"{technique_graph.adjacency.nnz} nnz"
+    )
+    payload = run_bench(
+        detect_graph, technique_graph, techniques=techniques, repeats=args.repeats
+    )
+    rows = [
+        [r["name"], r["impl"], f"{r['seconds']:.3f}", f"{r['nodes_per_s']:,.0f}"]
+        for r in payload["results"]
+    ]
+    print(render_table(["workload", "impl", "seconds", "nodes/s"], rows))
+    for name, speedup in payload["speedups"].items():
+        suffix = " (detection throughput)" if name == DETECT_ROW else ""
+        print(f"{name}: fast is {speedup:.1f}x reference{suffix}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)

@@ -1,0 +1,14 @@
+"""Vectorized community-detection engines.
+
+Array-backed implementations of the detectors in
+:mod:`repro.community`, selected through the reorder dispatch layer
+(:mod:`repro.reorder.dispatch`).  Each fast engine reproduces its
+reference counterpart bit-for-bit — same float accumulation order,
+same tie-breaking, same merge bookkeeping — so permutations and memo
+caches are byte-identical across implementations.
+"""
+
+from repro.community.fast.louvain import louvain_fast
+from repro.community.fast.rabbit import rabbit_communities_fast
+
+__all__ = ["louvain_fast", "rabbit_communities_fast"]

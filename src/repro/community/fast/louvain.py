@@ -1,0 +1,256 @@
+"""Vectorized Louvain community detection.
+
+Bit-identical to :func:`repro.community.louvain.louvain`.  The level
+graph lives in CSR-like arrays (``offsets``/``keys``/``vals`` in dict
+insertion order, plus self-loop weights) instead of per-node dicts;
+neighbor-community aggregation, degree computation, and community
+contraction are numpy segment operations.
+
+Bit-identity hinges on reproducing the reference's float accumulation
+orders exactly:
+
+- Row degrees come from ``sum(row.values())`` — a *sequential*
+  left-to-right accumulation.  ``np.sum``/``np.add.reduce`` use
+  pairwise summation and ``np.add.reduceat`` blocks differently, so
+  neither matches; :func:`_sequential_segment_sums` accumulates column
+  ``j`` of every row in one vector add per ``j``, which is sequential
+  within each row.
+- Per-node candidate weights accumulate in row (dict-insertion) order:
+  ``np.bincount(inverse, weights=...)`` adds in input order.
+- The greedy move keeps the reference's epsilon scan
+  (``gain > best_gain + min_gain`` over candidates in insertion
+  order) — an argmax is *not* equivalent when two gains differ by less
+  than ``min_gain`` — so gains are computed vectorized but scanned in
+  a tiny Python loop over the few candidate communities.
+- Contraction interleaves self-loop and internal-edge weight adds per
+  node; a single ``np.add.at`` over a ``lexsort``-ordered sequence
+  reproduces the interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.community.assignment import CommunityAssignment
+from repro.community.modularity import modularity_csr
+
+
+def _sequential_segment_sums(offsets: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-segment sums with left-to-right accumulation order.
+
+    Equals ``[sum(values[s:e].tolist()) for s, e in rows]`` bit-for-bit
+    in O(max segment length) vector operations: iteration ``j`` adds the
+    ``j``-th element of every segment still long enough, longest
+    segments kept active via an ascending-length sort.
+    """
+    n = offsets.size - 1
+    sums = np.zeros(n, dtype=np.float64)
+    if n == 0 or values.size == 0:
+        return sums
+    lengths = np.diff(offsets)
+    by_length = np.argsort(lengths, kind="stable")
+    lengths_sorted = lengths[by_length]
+    starts_sorted = offsets[:-1][by_length]
+    max_length = int(lengths_sorted[-1])
+    for j in range(max_length):
+        first = int(np.searchsorted(lengths_sorted, j, side="right"))
+        active = by_length[first:]
+        sums[active] += values[starts_sorted[first:] + j]
+    return sums
+
+
+def _level_from_csr(adjacency):
+    """Split a CSR into dict-order level arrays (self-loops separated).
+
+    Duplicate columns within a row (possible for raw COO inputs) are
+    collapsed in storage order, matching dict accumulation.
+    """
+    offsets = adjacency.row_offsets
+    indices = adjacency.col_indices
+    values = adjacency.values
+    n = adjacency.n_rows
+    row_of_entry = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+    self_mask = indices == row_of_entry
+    self_loops = np.zeros(n, dtype=np.float64)
+    if self_mask.any():
+        np.add.at(self_loops, row_of_entry[self_mask], values[self_mask])
+        row_of_entry = row_of_entry[~self_mask]
+        indices = indices[~self_mask]
+        values = values[~self_mask]
+    dup = np.flatnonzero(
+        (row_of_entry[1:] == row_of_entry[:-1]) & (indices[1:] == indices[:-1])
+    )
+    if dup.size:
+        combined = row_of_entry * np.int64(n) + indices
+        _, first_idx, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        sums = np.bincount(inverse, weights=values, minlength=first_idx.size)
+        order = np.argsort(first_idx, kind="stable")
+        row_of_entry = row_of_entry[first_idx[order]]
+        indices = indices[first_idx[order]]
+        values = sums[order]
+    counts = np.bincount(row_of_entry, minlength=n).astype(np.int64)
+    new_offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+    )
+    return new_offsets, indices, values, self_loops
+
+
+def _local_moving_fast(
+    offsets: np.ndarray,
+    keys: np.ndarray,
+    vals: np.ndarray,
+    self_loops: np.ndarray,
+    total_weight,
+    min_gain: float,
+) -> "tuple[np.ndarray, bool]":
+    """Phase 1: greedy node moves (reference ``_local_moving``)."""
+    n = offsets.size - 1
+    labels = np.arange(n, dtype=np.int64)
+    degree = self_loops + _sequential_segment_sums(offsets, vals)
+    community_degree = degree.copy()
+    improved_any = False
+    for _ in range(n):  # sweeps; bounded, but typically exits in a few
+        moved = 0
+        for v in range(n):
+            start, end = int(offsets[v]), int(offsets[v + 1])
+            current = int(labels[v])
+            deg_v = degree[v]
+            community_degree[current] -= deg_v
+            best_community = current
+            best_gain = 0.0
+            if end > start:
+                communities = labels[keys[start:end]]
+                unique, first_idx, inverse = np.unique(
+                    communities, return_index=True, return_inverse=True
+                )
+                sums = np.bincount(
+                    inverse, weights=vals[start:end], minlength=unique.size
+                )
+                order = np.argsort(first_idx, kind="stable")
+                candidates = unique[order]
+                weights = sums[order]
+                in_current = np.flatnonzero(candidates == current)
+                base = weights[in_current[0]] if in_current.size else 0.0
+                gains = (
+                    (weights - base)
+                    - deg_v
+                    * (community_degree[candidates] - community_degree[current])
+                    / total_weight
+                ) * (2.0 / total_weight)
+                for community, gain in zip(candidates.tolist(), gains.tolist()):
+                    if community == current:
+                        continue
+                    if gain > best_gain + min_gain:
+                        best_gain = gain
+                        best_community = community
+            labels[v] = best_community
+            community_degree[best_community] += deg_v
+            if best_community != current:
+                moved += 1
+        if moved == 0:
+            break
+        improved_any = True
+    unique, inverse = np.unique(labels, return_inverse=True)
+    return inverse.astype(np.int64), improved_any
+
+
+def _aggregate_fast(
+    offsets: np.ndarray,
+    keys: np.ndarray,
+    vals: np.ndarray,
+    self_loops: np.ndarray,
+    labels: np.ndarray,
+):
+    """Phase 2: contract communities (reference ``_aggregate``)."""
+    n = offsets.size - 1
+    n_communities = int(labels.max()) + 1
+    row_of_entry = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+    entry_rv = labels[row_of_entry]
+    entry_cu = labels[keys]
+    internal = entry_rv == entry_cu
+
+    # Self-loop sums: the reference interleaves self_loops[v] and v's
+    # internal edge weights per node (ascending v, row order within).
+    # rank -1 puts the self-loop contribution first within each node.
+    add_targets = np.concatenate([labels, entry_rv[internal]])
+    add_weights = np.concatenate([self_loops, vals[internal]])
+    add_node = np.concatenate([np.arange(n, dtype=np.int64), row_of_entry[internal]])
+    add_rank = np.concatenate(
+        [np.full(n, -1, dtype=np.int64), np.flatnonzero(internal)]
+    )
+    order = np.lexsort((add_rank, add_node))
+    new_loops = np.zeros(n_communities, dtype=np.float64)
+    np.add.at(new_loops, add_targets[order], add_weights[order])
+
+    # External edges: group by source community preserving global entry
+    # order, then first-occurrence dedupe per (source, target) pair.
+    external = ~internal
+    ext_rv = entry_rv[external]
+    ext_cu = entry_cu[external]
+    ext_w = vals[external]
+    by_source = np.argsort(ext_rv, kind="stable")
+    ext_rv = ext_rv[by_source]
+    ext_cu = ext_cu[by_source]
+    ext_w = ext_w[by_source]
+    combined = ext_rv * np.int64(n_communities) + ext_cu
+    unique, first_idx, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    sums = np.bincount(inverse, weights=ext_w, minlength=unique.size)
+    pair_order = np.argsort(first_idx, kind="stable")
+    new_rv = unique[pair_order] // np.int64(n_communities)
+    new_keys = unique[pair_order] % np.int64(n_communities)
+    new_vals = sums[pair_order]
+    counts = np.bincount(new_rv, minlength=n_communities).astype(np.int64)
+    new_offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+    )
+    return new_offsets, new_keys, new_vals, new_loops
+
+
+def louvain_fast(undirected, max_levels: int = 10, min_gain: float = 1e-9):
+    """Array-backed Louvain on an (already symmetrized) graph."""
+    from repro.community.louvain import LouvainResult  # deferred: cycle
+
+    adjacency = undirected.adjacency
+    n = adjacency.n_rows
+    if n == 0:
+        empty = CommunityAssignment(np.empty(0, dtype=np.int64))
+        return LouvainResult(empty, 0.0, [])
+
+    offsets, keys, vals, self_loops = _level_from_csr(adjacency)
+    row_sums = _sequential_segment_sums(offsets, vals)
+    accumulated = 0.0
+    for row_sum in row_sums.tolist():
+        accumulated += row_sum
+    total_weight = self_loops.sum() + accumulated
+    if total_weight == 0.0:
+        singleton = CommunityAssignment(np.arange(n, dtype=np.int64))
+        return LouvainResult(singleton, 0.0, [])
+
+    node_map = np.arange(n, dtype=np.int64)
+    level_modularities: List[float] = []
+    for _ in range(max_levels):
+        labels, improved = _local_moving_fast(
+            offsets, keys, vals, self_loops, total_weight, min_gain
+        )
+        node_map = labels[node_map]
+        level_modularities.append(modularity_csr(adjacency, node_map))
+        if not improved:
+            break
+        offsets, keys, vals, self_loops = _aggregate_fast(
+            offsets, keys, vals, self_loops, labels
+        )
+        if offsets.size - 1 <= 1:
+            break
+
+    assignment = CommunityAssignment(node_map).compact()
+    return LouvainResult(
+        assignment,
+        modularity_csr(adjacency, assignment.labels),
+        level_modularities,
+    )

@@ -181,6 +181,15 @@ def _full_entries() -> List[CorpusEntry]:
             publisher_order="scrambled", directed=True, profiles=("full",),
             description="Graph500 R-MAT scale 14 (extreme skew, weak community)",
         ),
+        CorpusEntry(
+            "soc-rmat", "social",
+            lambda: rmat(16, 64, seed=7),
+            publisher_order="scrambled", directed=True, profiles=("full",),
+            description="R-MAT scale 16, Orkut-class density (~128 avg degree "
+            "symmetric); the bench-reorder detection-throughput matrix — "
+            "over the profile nnz cap, so excluded by selection like the "
+            "paper's capacity-limited inputs",
+        ),
         # --- Knowledge databases.
         CorpusEntry(
             "know-base", "knowledge",

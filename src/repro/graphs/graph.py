@@ -16,7 +16,7 @@ from repro.errors import ShapeError
 from repro.sparse.convert import coo_to_csr, csr_to_coo
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import drop_self_loops, is_symmetric, symmetrize
+from repro.sparse.ops import drop_self_loops, is_symmetric, symmetrize, transpose
 
 
 class Graph:
@@ -32,7 +32,7 @@ class Graph:
         (validated lazily by :meth:`validate_undirected`).
     """
 
-    __slots__ = ("adjacency", "directed", "_undirected_cache")
+    __slots__ = ("adjacency", "directed", "_undirected_cache", "_in_adjacency_cache")
 
     def __init__(self, adjacency: CSRMatrix, directed: bool = False) -> None:
         if not adjacency.is_square:
@@ -40,6 +40,7 @@ class Graph:
         self.adjacency = adjacency
         self.directed = bool(directed)
         self._undirected_cache: Optional["Graph"] = None
+        self._in_adjacency_cache: Optional[CSRMatrix] = None
 
     @classmethod
     def from_coo(cls, coo: COOMatrix, directed: bool = False) -> "Graph":
@@ -82,6 +83,17 @@ class Graph:
 
     def edge_weights(self, node: int) -> np.ndarray:
         return self.adjacency.row_values(node)
+
+    @property
+    def in_adjacency(self) -> CSRMatrix:
+        """CSR of the transposed adjacency (in-neighbors per row), cached.
+
+        GOrder and any consumer needing in-neighbor expansion share one
+        transpose instead of rebuilding it per call.
+        """
+        if self._in_adjacency_cache is None:
+            self._in_adjacency_cache = coo_to_csr(transpose(csr_to_coo(self.adjacency)))
+        return self._in_adjacency_cache
 
     def validate_undirected(self) -> bool:
         """Check the adjacency is structurally symmetric."""

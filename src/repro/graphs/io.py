@@ -10,6 +10,7 @@ when they are available.  Supports the ``coordinate`` format with
 
 from __future__ import annotations
 
+import io
 import os
 from typing import List, TextIO, Union
 
@@ -30,6 +31,13 @@ def read_matrix_market(source: PathOrFile) -> COOMatrix:
     Symmetric files are expanded: every off-diagonal entry also yields
     its mirrored entry, matching SuiteSparse semantics.
 
+    Parsing is two-tier: a bulk tokenizer handles well-formed files
+    (whole-body split plus vectorized numeric conversion — roughly an
+    order of magnitude faster than line-at-a-time parsing), and any
+    structural surprise falls back to the reference line-by-line parser,
+    which either handles the oddity (ragged extra tokens, exotic
+    spellings the bulk converter rejects) or raises the precise error.
+
     Parse failures raise :class:`FormatError` prefixed with the source
     path and the 1-based line number of the offending line
     (``corpus/web.mtx:48312: ...``), so a bad file in a corpus-scale
@@ -37,10 +45,104 @@ def read_matrix_market(source: PathOrFile) -> COOMatrix:
     """
     if hasattr(source, "read"):
         name = getattr(source, "name", None) or "<stream>"
-        return _read_stream(source, str(name))  # type: ignore[arg-type]
+        text = source.read()  # type: ignore[union-attr]
+        return _read_text(text, str(name))
     path = os.fspath(source)  # type: ignore[arg-type]
     with open(path, "r", encoding="utf-8") as handle:
-        return _read_stream(handle, str(path))
+        text = handle.read()
+    return _read_text(text, str(path))
+
+
+class _Fallback(Exception):
+    """Internal: bulk parse hit something only the slow path resolves."""
+
+
+def _read_text(text: str, source: str) -> COOMatrix:
+    try:
+        return _parse_bulk(text)
+    except _Fallback:
+        # Reparse line-by-line: either the reference parser copes with
+        # the irregularity, or it raises with the exact line number.
+        return _read_stream(io.StringIO(text), source)
+
+
+def _parse_bulk(text: str) -> COOMatrix:
+    """Vectorized parse of a well-formed file; raises ``_Fallback`` else."""
+    newline = text.find("\n")
+    header = text[:newline] if newline >= 0 else text
+    tokens = header.split()
+    if not header.startswith("%%MatrixMarket") or len(tokens) != 5:
+        raise _Fallback
+    _, object_kind, fmt, field, symmetry = (token.lower() for token in tokens)
+    if (
+        object_kind != "matrix"
+        or fmt != "coordinate"
+        or field not in _FIELDS
+        or symmetry not in _SYMMETRIES
+    ):
+        raise _Fallback
+
+    body = text[newline + 1:] if newline >= 0 else ""
+    data = [s for line in body.split("\n") if (s := line.strip()) and s[0] != "%"]
+    if not data:
+        raise _Fallback
+    size_parts = data[0].split()
+    if len(size_parts) != 3:
+        raise _Fallback
+    try:
+        n_rows, n_cols, n_entries = (int(part) for part in size_parts)
+    except ValueError:
+        raise _Fallback from None
+    if len(data) - 1 < n_entries or n_entries < 0:
+        raise _Fallback
+
+    if n_entries == 0:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+        values = np.empty(0, dtype=np.float64)
+        return COOMatrix(n_rows, n_cols, rows, cols, values)
+
+    # ``np.loadtxt``'s C tokenizer does the heavy lifting: the
+    # structured dtype enforces strict per-column parsing (an integer
+    # column rejects ``1e3``/``2.0``, ragged lines reject the whole
+    # file) so any irregularity lands in the fallback instead of a
+    # silent column misalignment.  ``comments=None`` keeps a stray
+    # ``#`` from truncating a line the reference parser would reject.
+    if field == "pattern":
+        dtype = [("row", np.int64), ("col", np.int64)]
+    else:
+        dtype = [("row", np.int64), ("col", np.int64), ("value", np.float64)]
+    try:
+        table = np.loadtxt(
+            data[1: 1 + n_entries], dtype=dtype, comments=None, ndmin=1
+        )
+    except Exception:
+        raise _Fallback from None
+    if table.shape[0] != n_entries:
+        raise _Fallback
+    rows = table["row"] - 1
+    cols = table["col"] - 1
+    if field == "pattern":
+        values = np.ones(n_entries, dtype=np.float64)
+    else:
+        values = table["value"]
+
+    if symmetry == "symmetric":
+        # Expand mirrors *interleaved* — each off-diagonal entry is
+        # immediately followed by its transpose, matching the reference
+        # parser's append order entry for entry.
+        entry = np.repeat(
+            np.arange(n_entries, dtype=np.int64), 1 + (rows != cols)
+        )
+        mirror = np.zeros(entry.size, dtype=bool)
+        mirror[1:] = entry[1:] == entry[:-1]
+        out_rows = rows[entry]
+        out_cols = cols[entry]
+        out_rows[mirror] = cols[entry[mirror]]
+        out_cols[mirror] = rows[entry[mirror]]
+        rows, cols, values = out_rows, out_cols, values[entry]
+
+    return COOMatrix(n_rows, n_cols, rows, cols, values)
 
 
 class _LineReader:

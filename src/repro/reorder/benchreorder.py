@@ -1,0 +1,203 @@
+"""Reference-vs-fast reordering micro-benchmark (``repro bench-reorder``).
+
+Two seeded workloads, mirroring the simulator benchmark
+(:mod:`repro.cache.benchsim`):
+
+- **Detection throughput** — RABBIT community detection on the
+  ``soc-rmat`` corpus matrix (R-MAT scale 16, edge factor 64 — an
+  Orkut-class social-network density).  Detection dominates every
+  community-based technique, and this row carries the engine's headline
+  speedup target (>= 5x single-core).
+- **Technique end-to-end** — full permutation computation (detection +
+  ordering) for each technique with a fast path, on a mid-size R-MAT so
+  the slowest reference (GOrder) stays in CLI territory.
+
+Every fast run is checked for equality against its reference run —
+permutations for techniques, labels/merge counts for detection — so the
+benchmark doubles as a large-scale differential test.  The ``smoke``
+variant shrinks both graphs for CI.  Results serialize to the
+``BENCH_reorder.json`` schema written by
+``benchmarks/test_bench_reorder.py`` and the ``--json`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.community.rabbit import rabbit_communities
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.obs import get_obs
+
+#: R-MAT parameters: detection benchmark == the ``soc-rmat`` corpus
+#: entry; technique benchmark sized so reference GOrder finishes in
+#: tens of seconds; smoke shrinks everything to CI scale.
+DETECT_GRAPH = {"scale": 16, "edge_factor": 64, "seed": 7}
+TECHNIQUE_GRAPH = {"scale": 13, "edge_factor": 16, "seed": 7}
+SMOKE_GRAPH = {"scale": 10, "edge_factor": 8, "seed": 7}
+
+#: Techniques with a dispatchable fast path, benchmarked end-to-end.
+BENCH_TECHNIQUES = ("rabbit", "rabbit++", "louvain", "rcm", "gorder")
+
+#: Name of the detection-throughput row in results/speedups.
+DETECT_ROW = "rabbit-detect"
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One (name, impl) timing."""
+
+    name: str
+    impl: str
+    seconds: float
+    nodes_per_s: float
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "impl": self.impl,
+            "seconds": self.seconds,
+            "nodes_per_s": self.nodes_per_s,
+        }
+
+
+def build_bench_graphs(smoke: bool = False) -> "tuple[Graph, Graph]":
+    """(detection graph, technique graph), symmetrization prewarmed.
+
+    Prewarming ``to_undirected()`` (cached on :class:`Graph`) keeps the
+    timed region to the engine under test: both impls symmetrize
+    identically, so including it would only dilute the comparison.
+    """
+    from repro.graphs.generators.powerlaw import rmat
+
+    detect_params = SMOKE_GRAPH if smoke else DETECT_GRAPH
+    technique_params = SMOKE_GRAPH if smoke else TECHNIQUE_GRAPH
+    with get_obs().span("bench-reorder-setup", **detect_params):
+        detect_graph = Graph.from_coo(rmat(**detect_params), directed=True)
+        detect_graph.to_undirected()
+        if technique_params == detect_params:
+            technique_graph = detect_graph
+        else:
+            technique_graph = Graph.from_coo(rmat(**technique_params), directed=True)
+            technique_graph.to_undirected()
+        # GOrder reads the cached transpose; warm it so the reference
+        # row (timed first) does not pay the one-off build.
+        technique_graph.in_adjacency
+    return detect_graph, technique_graph
+
+
+def _timed_best(
+    action: Callable[[], object], repeats: int, clock: Callable[[], float]
+) -> "tuple[float, object]":
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = clock()
+        result = action()
+        elapsed = clock() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def run_bench(
+    detect_graph: Graph,
+    technique_graph: Graph,
+    techniques: Sequence[str] = BENCH_TECHNIQUES,
+    repeats: int = 3,
+    clock: Optional[Callable[[], float]] = None,
+) -> Dict[str, object]:
+    """Time reference vs fast; verify identical outputs.
+
+    Returns the ``BENCH_reorder.json`` payload: per-(name, impl)
+    timings in nodes/sec, per-name fast-over-reference speedups, and a
+    ``results_match`` flag (a divergence raises instead — the benchmark
+    must not report throughput for a wrong answer).
+    """
+    from repro.reorder.registry import make_technique
+
+    if repeats < 1:
+        raise ValidationError(f"repeats must be >= 1, got {repeats}")
+    clock = clock or time.perf_counter
+    rows: List[BenchRow] = []
+    speedups: Dict[str, float] = {}
+
+    def record(name: str, graph: Graph, runs: Dict[str, "tuple[float, object]"],
+               same: bool) -> None:
+        if not same:
+            raise AssertionError(
+                f"fast {name} output diverges from reference on the bench graph"
+            )
+        for impl in ("reference", "fast"):
+            seconds = runs[impl][0]
+            rows.append(
+                BenchRow(
+                    name=name,
+                    impl=impl,
+                    seconds=seconds,
+                    nodes_per_s=graph.n_nodes / seconds if seconds > 0 else float("inf"),
+                )
+            )
+        fast_seconds = runs["fast"][0]
+        speedups[name] = (
+            runs["reference"][0] / fast_seconds if fast_seconds > 0 else float("inf")
+        )
+
+    # Detection throughput (the headline row).
+    detect_runs = {}
+    for impl in ("reference", "fast"):
+        detect_runs[impl] = _timed_best(
+            lambda impl=impl: rabbit_communities(detect_graph, impl=impl),
+            repeats,
+            clock,
+        )
+    ref_result, fast_result = detect_runs["reference"][1], detect_runs["fast"][1]
+    record(
+        DETECT_ROW,
+        detect_graph,
+        detect_runs,
+        np.array_equal(ref_result.assignment.labels, fast_result.assignment.labels)
+        and ref_result.n_merges == fast_result.n_merges
+        and np.array_equal(
+            ref_result.dendrogram.ordering(), fast_result.dendrogram.ordering()
+        ),
+    )
+
+    # Technique end-to-end permutations.
+    for name in techniques:
+        runs = {}
+        for impl in ("reference", "fast"):
+            technique = make_technique(name, impl=impl)
+            runs[impl] = _timed_best(
+                lambda technique=technique: technique.compute(technique_graph),
+                repeats,
+                clock,
+            )
+        record(
+            name,
+            technique_graph,
+            runs,
+            np.array_equal(runs["reference"][1], runs["fast"][1]),
+        )
+
+    return {
+        "workloads": {
+            "detection": _graph_json(detect_graph),
+            "techniques": _graph_json(technique_graph),
+        },
+        "repeats": repeats,
+        "results": [row.to_json() for row in rows],
+        "speedups": speedups,
+        "results_match": True,
+    }
+
+
+def _graph_json(graph: Graph) -> Dict[str, object]:
+    return {
+        "n_nodes": graph.n_nodes,
+        "nnz": int(graph.adjacency.nnz),
+        "undirected_nnz": int(graph.to_undirected().adjacency.nnz),
+    }

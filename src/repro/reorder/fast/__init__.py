@@ -1,0 +1,9 @@
+"""Vectorized fast engines for reordering techniques.
+
+Each module here mirrors one reference technique in
+:mod:`repro.reorder` and produces **bit-identical permutations**; the
+dispatch in the technique classes (driven by
+:mod:`repro.reorder.dispatch`) picks between them.  The CSR-native
+community detectors backing rabbit/rabbit++/louvain live in
+:mod:`repro.community.fast`.
+"""

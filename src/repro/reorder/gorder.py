@@ -31,8 +31,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
 from repro.reorder.base import ReorderingTechnique, stable_order_to_permutation
-from repro.sparse.convert import coo_to_csr, csr_to_coo
-from repro.sparse.ops import transpose
+from repro.reorder.dispatch import resolve_for_graph
 
 
 class GOrder(ReorderingTechnique):
@@ -52,8 +51,13 @@ class GOrder(ReorderingTechnique):
         n = graph.n_nodes
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        if resolve_for_graph(self.impl, n, graph.n_edges) == "fast":
+            from repro.reorder.fast.gorder import gorder_visit_fast
+
+            visit = gorder_visit_fast(graph, self.window, self.max_expand)
+            return stable_order_to_permutation(visit)
         out_csr = graph.adjacency
-        in_csr = coo_to_csr(transpose(csr_to_coo(graph.adjacency)))
+        in_csr = graph.in_adjacency
 
         out_offsets = out_csr.row_offsets
         out_indices = out_csr.col_indices

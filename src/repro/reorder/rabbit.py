@@ -35,12 +35,14 @@ class RabbitOrder(ReorderingTechnique):
         self.last_result: Optional[RabbitResult] = None
 
     def _compute(self, graph: Graph) -> np.ndarray:
-        result = rabbit_communities(graph, n_passes=self.n_passes)
+        result = rabbit_communities(graph, n_passes=self.n_passes, impl=self.impl)
         self.last_result = result
         return result.dendrogram.ordering()
 
     def detect(self, graph: Graph) -> RabbitResult:
         """Run (or reuse) detection without computing the permutation."""
         if self.last_result is None or self.last_result.assignment.n_nodes != graph.n_nodes:
-            self.last_result = rabbit_communities(graph, n_passes=self.n_passes)
+            self.last_result = rabbit_communities(
+                graph, n_passes=self.n_passes, impl=self.impl
+            )
         return self.last_result

@@ -111,7 +111,7 @@ class RabbitPlusPlus(ReorderingTechnique):
         return label
 
     def _compute(self, graph: Graph) -> np.ndarray:
-        rabbit = rabbit_communities(graph, n_passes=self.n_passes)
+        rabbit = rabbit_communities(graph, n_passes=self.n_passes, impl=self.impl)
         rank = rabbit.dendrogram.ordering()  # old_id -> rabbit new_id
 
         n = graph.n_nodes

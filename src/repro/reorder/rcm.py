@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.reorder.base import ReorderingTechnique, stable_order_to_permutation
+from repro.reorder.dispatch import resolve_for_graph
 
 
 class ReverseCuthillMcKee(ReorderingTechnique):
@@ -24,6 +25,10 @@ class ReverseCuthillMcKee(ReorderingTechnique):
     name = "rcm"
 
     def _compute(self, graph: Graph) -> np.ndarray:
+        if resolve_for_graph(self.impl, graph.n_nodes, graph.n_edges) == "fast":
+            from repro.reorder.fast.rcm import rcm_permutation_fast
+
+            return rcm_permutation_fast(graph)
         undirected = graph.to_undirected()
         adjacency = undirected.adjacency
         n = adjacency.n_rows

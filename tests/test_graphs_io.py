@@ -6,8 +6,13 @@ import numpy as np
 import pytest
 
 from repro.errors import FormatError
-from repro.graphs.io import read_matrix_market, write_matrix_market
-from repro.sparse.coo import COOMatrix
+from repro.graphs.io import (
+    _Fallback,
+    _parse_bulk,
+    _read_stream,
+    read_matrix_market,
+    write_matrix_market,
+)
 
 
 GENERAL = """%%MatrixMarket matrix coordinate real general
@@ -98,6 +103,114 @@ class TestRoundTrip:
         path = tmp_path / "mesh.mtx"
         write_matrix_market(matrix, str(path))
         assert read_matrix_market(str(path)) == matrix
+
+
+def _texts_equal(text: str) -> bool:
+    """Bulk and reference parses agree entry-for-entry (or both fail)."""
+    try:
+        ref = _read_stream(io.StringIO(text), "X")
+    except FormatError:
+        ref = None
+    try:
+        fast = read_matrix_market(io.StringIO(text))
+    except FormatError:
+        fast = None
+    if ref is None or fast is None:
+        return (ref is None) == (fast is None)
+    return (
+        ref.shape == fast.shape
+        and np.array_equal(ref.rows, fast.rows)
+        and np.array_equal(ref.cols, fast.cols)
+        and np.array_equal(ref.values, fast.values, equal_nan=True)
+    )
+
+
+class TestBulkParserDifferential:
+    """The bulk tokenizer path matches the line-by-line reference."""
+
+    @pytest.mark.parametrize("field", ["real", "integer", "pattern"])
+    @pytest.mark.parametrize("symmetry", ["general", "symmetric"])
+    def test_field_symmetry_grid(self, field, symmetry):
+        rng = np.random.default_rng(hash((field, symmetry)) % 2**32)
+        n = 24
+        lines = [f"%%MatrixMarket matrix coordinate {field} {symmetry}"]
+        entries = []
+        for _ in range(60):
+            r = int(rng.integers(1, n + 1))
+            c = int(rng.integers(1, r + 1)) if symmetry == "symmetric" else int(
+                rng.integers(1, n + 1)
+            )
+            if field == "pattern":
+                entries.append(f"{r} {c}")
+            elif field == "integer":
+                entries.append(f"{r} {c} {int(rng.integers(-9, 9))}")
+            else:
+                entries.append(f"{r} {c} {rng.standard_normal():.17g}")
+        lines.append(f"{n} {n} {len(entries)}")
+        lines.extend(entries)
+        assert _texts_equal("\n".join(lines) + "\n")
+
+    def test_symmetric_mirrors_interleaved(self):
+        # Reference appends each mirror immediately after its entry —
+        # the bulk expansion must preserve that exact COO order.
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "2 1 1.5\n"
+            "2 2 4.0\n"
+            "3 1 -2.5\n"
+        )
+        coo = read_matrix_market(io.StringIO(text))
+        assert coo.rows.tolist() == [1, 0, 1, 2, 0]
+        assert coo.cols.tolist() == [0, 1, 1, 0, 2]
+        assert coo.values.tolist() == [1.5, 1.5, 4.0, -2.5, -2.5]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # Interleaved comments/blank lines among entries.
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n% c\n1 1 1.0\n\n2 2 2.0\n",
+            # Extra tokens per entry (tolerated by the reference).
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0 extra\n",
+            # Ragged entry (reference raises line 4).
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2 9\n1\n",
+            # Python-only integer spellings.
+            "%%MatrixMarket matrix coordinate real general\n12 12 1\n1_0 1 1.0\n",
+            # Trailing junk after the declared entries is ignored.
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 9.0\n",
+            # CRLF endings and tab separators.
+            "%%MatrixMarket matrix coordinate real general\r\n2 2 1\r\n1 1 1.0\r\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\t1\t1.0\n",
+            # Zero-entry matrix.
+            "%%MatrixMarket matrix coordinate real general\n4 5 0\n",
+            # Exponent/float spellings in integer coordinate columns.
+            "%%MatrixMarket matrix coordinate real general\n1200 1200 1\n1e3 1 1.0\n",
+            "%%MatrixMarket matrix coordinate real general\n12 12 1\n2.0 1 1.0\n",
+            # Mid-line '%' and '#' are data, not comments.
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.0%x\n",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.0#x 4\n",
+        ],
+    )
+    def test_oddball_inputs_match_reference(self, text):
+        assert _texts_equal(text)
+
+    def test_ragged_lines_fall_back(self):
+        # Divisible token count but misaligned columns: the bulk path
+        # must not silently parse this; the reference rejects line 4.
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "9 9 2\n"
+            "1 2 3\n"
+            "4\n"
+        )
+        with pytest.raises(_Fallback):
+            _parse_bulk(text)
+        with pytest.raises(FormatError, match=r":4: "):
+            read_matrix_market(io.StringIO(text))
+
+    def test_bulk_path_taken_for_clean_file(self):
+        coo = _parse_bulk(GENERAL)
+        assert coo.nnz == 3
 
 
 class TestErrorLocations:
