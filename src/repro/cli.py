@@ -14,6 +14,9 @@ Examples::
     repro doctor
     repro run-all --jobs 4 --retries 2 --cell-timeout 120 --keep-going
     repro run-all --resume
+    repro runs list
+    repro trace <run_id> --chrome /tmp/trace.json
+    repro bench --check --strict
     repro version
 
 Observability flags (global, before the subcommand)::
@@ -23,6 +26,16 @@ Observability flags (global, before the subcommand)::
 ``--log-file`` writes one JSON event per span end / counter flush
 (see :mod:`repro.obs` for the schema); ``--log-level`` turns on human
 log lines on stderr; ``--quiet`` suppresses progress reporting.
+
+Every ``experiment``/``run-all`` invocation additionally writes a run
+ledger under ``runs/<run_id>/`` — a ``manifest.json`` with args,
+config, span totals and histogram summaries, plus the JSONL event
+files from the parent *and* every pool worker (disable with
+``--no-ledger``; relocate with ``--runs-dir`` or ``$REPRO_RUNS_DIR``).
+``repro runs list|show`` browses the ledger; ``repro trace <run_id>``
+renders the stitched cross-process span tree and exports Chrome
+trace-event JSON; ``repro bench --check`` gates fresh benchmark
+payloads against committed baselines.
 """
 
 from __future__ import annotations
@@ -45,9 +58,12 @@ from repro.obs import (
     JsonlSink,
     NullSink,
     ProgressReporter,
+    TeeSink,
+    format_histograms,
     format_span_totals,
     get_obs,
 )
+from repro.obs.ledger import RunLedger, find_run_dir, list_runs, load_manifest, resolve_runs_dir
 from repro.reorder.benchreorder import BENCH_TECHNIQUES
 from repro.reorder.dispatch import IMPLS
 from repro.reorder.registry import available_techniques
@@ -59,6 +75,12 @@ LOG_LEVELS = ("debug", "info", "warning", "error")
 _CACHE_KINDS = ("reorder-time", "metrics", "run")
 
 
+#: Subcommands that write a run ledger (manifest + event files) under
+#: ``runs/<run_id>/`` unless ``--no-ledger``; the value is the manifest
+#: ``kind`` field.
+_LEDGER_COMMANDS = {"experiment": "experiment", "run-all": "run-all", "bench": "bench-check"}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -66,30 +88,80 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_help()
         return 2
     try:
-        instr = _make_instrumentation(args)
+        instr, ledger = _make_instrumentation(args)
     except OSError as exc:
         print(f"repro: error: cannot open log file: {exc}", file=sys.stderr)
         return 2
+    code: Optional[int] = None
     try:
         with obs.using(instr):
-            code = args.handler(args)
-            instr.flush()
-            return code
+            try:
+                code = args.handler(args)
+            finally:
+                instr.flush()
+        return code
     finally:
+        if ledger is not None:
+            status = "ok" if code == 0 else ("error" if code is None else "failed")
+            ledger.finalize(instr, exit_code=code, status=status)
+            if not args.quiet:
+                print(f"run ledger: {ledger.manifest_path}", file=sys.stderr)
         instr.close()
 
 
-def _make_instrumentation(args: argparse.Namespace) -> Instrumentation:
-    """Build the per-invocation instrumentation from the global flags."""
+def _ledger_config(args: argparse.Namespace) -> dict:
+    """The parsed CLI namespace as a JSON-friendly manifest section."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key != "handler" and not key.startswith("_")
+    }
+
+
+def _make_instrumentation(
+    args: argparse.Namespace,
+) -> "tuple[Instrumentation, Optional[RunLedger]]":
+    """Build the per-invocation instrumentation (and run ledger) from
+    the global flags.
+
+    Ledger-bearing commands (see :data:`_LEDGER_COMMANDS`) get an
+    *enabled* instrumentation whose events tee into the run directory
+    — that directory doubles as the workers' trace dir, which is what
+    stitches pool-worker spans into the parent trace.
+    """
     if args.log_level:
         logging.basicConfig(
             level=getattr(logging, args.log_level.upper()),
             stream=sys.stderr,
             format="%(asctime)s %(name)s %(levelname)s %(message)s",
         )
-    sink = JsonlSink(path=args.log_file) if args.log_file else NullSink()
-    enabled = bool(args.log_file or args.log_level)
-    return Instrumentation(sink=sink, enabled=enabled)
+    sinks: List = []
+    if args.log_file:
+        sinks.append(JsonlSink(path=args.log_file))
+    ledger: Optional[RunLedger] = None
+    if args.command in _LEDGER_COMMANDS and not getattr(args, "no_ledger", False):
+        ledger = RunLedger.create(
+            resolve_runs_dir(getattr(args, "runs_dir", None)),
+            kind=_LEDGER_COMMANDS[args.command],
+            argv=list(sys.argv[1:]),
+            config=_ledger_config(args),
+        )
+        sinks.append(JsonlSink(path=ledger.events_path))
+    if not sinks:
+        sink = NullSink()
+    elif len(sinks) == 1:
+        sink = sinks[0]
+    else:
+        sink = TeeSink(sinks)
+    enabled = bool(args.log_file or args.log_level or ledger is not None)
+    instr = Instrumentation(
+        sink=sink,
+        enabled=enabled,
+        run_id=ledger.run_id if ledger is not None else None,
+        trace_dir=ledger.dir if ledger is not None else None,
+    )
+    args._ledger = ledger
+    return instr, ledger
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -111,6 +183,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress reporting"
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="run-ledger root (default: $REPRO_RUNS_DIR or ./runs)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not write a runs/<run_id>/ ledger for this invocation",
     )
     subparsers = parser.add_subparsers(dest="command")
 
@@ -248,6 +331,77 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench_reorder.set_defaults(handler=_cmd_bench_reorder)
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="render one run's stitched cross-process span tree",
+    )
+    trace.add_argument("run_id", help="run id (or unique prefix) from runs/")
+    trace.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="also export Chrome trace-event JSON (load in Perfetto or "
+        "chrome://tracing)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    runs = subparsers.add_parser(
+        "runs", help="browse the run ledger (runs/<run_id>/manifest.json)"
+    )
+    runs.add_argument("action", choices=["list", "show"])
+    runs.add_argument(
+        "run_id", nargs="?", default=None, help="run id for 'show' (or unique prefix)"
+    )
+    runs.set_defaults(handler=_cmd_runs)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="perf-regression gate: compare fresh BENCH payloads to baselines",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh payloads against the committed baselines; "
+        "exit 1 on any regression",
+    )
+    bench.add_argument(
+        "--sim",
+        default="BENCH_sim.json",
+        metavar="PATH",
+        help="fresh bench-sim payload (default: BENCH_sim.json)",
+    )
+    bench.add_argument(
+        "--reorder",
+        default="BENCH_reorder.json",
+        metavar="PATH",
+        help="fresh bench-reorder payload (default: BENCH_reorder.json)",
+    )
+    bench.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        metavar="DIR",
+        help="committed baseline payloads (default: benchmarks/baselines)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional speedup drop before failing "
+        "(default: 0.4, i.e. fresh >= 60%% of baseline passes)",
+    )
+    bench.add_argument(
+        "--strict",
+        action="store_true",
+        help="a missing fresh payload fails the gate instead of skipping "
+        "(CI uses this so a benchmark that produced no output cannot pass)",
+    )
+    bench.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh payloads into the baseline dir (re-baseline)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
+
     version = subparsers.add_parser("version", help="print the package version")
     version.set_defaults(handler=_cmd_version)
 
@@ -345,6 +499,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    # The whole sweep runs under one root span: worker processes root
+    # their spans beneath it (TraceContext captures its id at pool
+    # construction), so `repro trace <run_id>` shows every cell span
+    # parented under this experiment span.
+    with get_obs().span("experiment", experiment=args.name, profile=args.profile):
+        return _run_experiment_sweep(args)
+
+
+def _run_experiment_sweep(args: argparse.Namespace) -> int:
     from repro.resilience import (
         CellFailure,
         FailureReport,
@@ -364,6 +527,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     manifest = SweepManifest.for_sweep(
         runner.cache_dir, args.profile, resume=getattr(args, "resume", False)
     )
+    ledger = getattr(args, "_ledger", None)
+    if ledger is not None:
+        manifest.add_run_id(ledger.run_id)
+        ledger.record(
+            "corpus_profile",
+            {"profile": args.profile, "experiments": names},
+        )
     pending_cell_failures: dict = {}
     if jobs > 1:
         from repro.parallel import plan_cells, precompute
@@ -427,7 +597,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 print(report.to_figure(value_column=column))
         print()
     progress.finish()
-    if get_obs().enabled and not args.quiet:
+    # Keyed on the explicit log flags, not obs.enabled: the run ledger
+    # enables instrumentation for every sweep, but the stdout timing
+    # dump should stay opt-in.
+    if (args.log_level or args.log_file) and not args.quiet:
         print("== where the time went ==")
         print(timing_summary())
     if keep_going:
@@ -435,6 +608,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             failures.add(failure)
         manifest.record_failures(failures)
         print(failures.summary_text(), file=sys.stderr if failures else sys.stdout)
+        if ledger is not None and failures:
+            ledger.record("failures", failures.to_json())
         if failures:
             return 1
     return 0
@@ -474,6 +649,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     print(format_span_totals(totals, total_seconds=wall.seconds))
     print()
+    histograms = instr.counters.histograms()
+    histograms.pop("profile", None)
+    if histograms:
+        print("latency percentiles (per phase):")
+        print(format_histograms(histograms))
+        print()
     _print_reorder_breakdown(runner, args, totals)
     print(f"wall seconds        {wall.seconds:.4f}")
     print("traffic breakdown:")
@@ -556,6 +737,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     rows.append(["total", total_count, total_bytes])
     print(f"cache dir: {cache_dir}" + ("" if os.path.isdir(cache_dir) else " (missing)"))
     print(render_table(["kind", "entries", "bytes"], rows))
+    _print_quarantine_stats(cache_dir)
 
     counters = get_obs().counters.snapshot()["counters"]
     hits = sum(v for k, v in counters.items() if k.startswith("memo.") and k.endswith(".hit"))
@@ -569,6 +751,38 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     else:
         print("this process: no memo lookups recorded (enable with --log-level/--log-file)")
     return 0
+
+
+def _print_quarantine_stats(cache_dir: str) -> None:
+    """Quarantine subdirectory contents: count, bytes, newest entry.
+
+    Quarantined files are damaged/legacy memo files ``repro doctor
+    --quarantine`` (or a failed read) moved out of the cache's read
+    path; surfacing them here keeps silent data loss visible.
+    """
+    from repro.resilience import quarantine_path
+
+    qdir = quarantine_path(cache_dir)
+    entries = []
+    if os.path.isdir(qdir):
+        for name in sorted(os.listdir(qdir)):
+            path = os.path.join(qdir, name)
+            if os.path.isfile(path):
+                entries.append((name, os.path.getsize(path), os.path.getmtime(path)))
+    print()
+    if not entries:
+        print("quarantine: empty")
+        return
+    total_bytes = sum(size for _, size, _ in entries)
+    newest = max(entries, key=lambda e: e[2])
+    import datetime
+
+    stamp = datetime.datetime.fromtimestamp(newest[2]).strftime("%Y-%m-%d %H:%M:%S")
+    print(
+        f"quarantine: {len(entries)} file(s), {total_bytes} bytes "
+        f"(newest: {newest[0]}, {stamp})"
+    )
+    print("  inspect with: repro doctor; clear by deleting the quarantine dir")
 
 
 def _cmd_doctor(args: argparse.Namespace) -> int:
@@ -680,6 +894,164 @@ def _cmd_bench_reorder(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=1, sort_keys=True)
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace <run_id>`` — stitched cross-process span tree."""
+    from repro.obs.tracefile import (
+        build_span_tree,
+        read_events,
+        render_span_tree,
+        to_chrome_trace,
+    )
+
+    runs_dir = resolve_runs_dir(args.runs_dir)
+    run_dir = find_run_dir(runs_dir, args.run_id)
+    if run_dir is None:
+        print(
+            f"repro: error: no run matching {args.run_id!r} under {runs_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    result = read_events(run_dir)
+    spans = result.spans()
+    pids = sorted({e.get("pid") for e in spans if e.get("pid") is not None})
+    print(
+        f"run {os.path.basename(run_dir)}: {len(spans)} spans from "
+        f"{len(result.files)} event file(s), {len(pids)} process(es)"
+    )
+    if result.total_bad_lines:
+        print(
+            f"warning: skipped {result.total_bad_lines} malformed line(s):",
+            file=sys.stderr,
+        )
+        for path, bad in sorted(result.bad_lines.items()):
+            if bad:
+                print(f"  {os.path.basename(path)}: {bad}", file=sys.stderr)
+    roots, orphans = build_span_tree(spans)
+    if orphans:
+        print(
+            f"note: {orphans} span(s) reference a parent span that never "
+            "flushed (shown as roots)"
+        )
+    print()
+    print(render_span_tree(roots))
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(to_chrome_trace(spans), handle, indent=1, sort_keys=True)
+        print(f"\nwrote Chrome trace-event JSON to {args.chrome} "
+              "(open in Perfetto or chrome://tracing)")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """``repro runs list|show`` — browse the run ledger."""
+    runs_dir = resolve_runs_dir(args.runs_dir)
+    if args.action == "list":
+        manifests = list_runs(runs_dir)
+        if not manifests:
+            print(f"no runs under {runs_dir}")
+            return 0
+        rows = []
+        for manifest in manifests:
+            duration = manifest.get("duration_seconds")
+            rows.append(
+                [
+                    manifest.get("run_id", "?"),
+                    manifest.get("kind", "?"),
+                    manifest.get("status", "?"),
+                    manifest.get("started_at_iso", "-"),
+                    "-" if duration is None else f"{float(duration):.1f}s",
+                    "-"
+                    if manifest.get("exit_code") is None
+                    else str(manifest.get("exit_code")),
+                ]
+            )
+        print(f"runs dir: {runs_dir}")
+        print(render_table(["run_id", "kind", "status", "started", "duration", "exit"], rows))
+        return 0
+    if not args.run_id:
+        print("repro: error: 'runs show' needs a run id", file=sys.stderr)
+        return 2
+    manifest = load_manifest(runs_dir, args.run_id)
+    if manifest is None:
+        print(
+            f"repro: error: no run matching {args.run_id!r} under {runs_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    print(json.dumps(manifest, indent=1, sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench --check`` — gate fresh BENCH payloads vs baselines.
+
+    Exits 0 when every gated speedup is within tolerance of its
+    baseline, 1 on any regression (or correctness-flag failure), 2 on
+    usage errors.  ``--update`` instead copies the fresh payloads over
+    the baselines.
+    """
+    import shutil
+
+    from repro.obs.benchgate import (
+        DEFAULT_TOLERANCE,
+        check_files,
+        format_gate_report,
+    )
+
+    pairs = [
+        ("bench-sim", os.path.join(args.baseline_dir, "BENCH_sim.json"), args.sim),
+        (
+            "bench-reorder",
+            os.path.join(args.baseline_dir, "BENCH_reorder.json"),
+            args.reorder,
+        ),
+    ]
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        updated = 0
+        for label, baseline_path, fresh_path in pairs:
+            if not os.path.exists(fresh_path):
+                print(f"[SKIP] {label}: no fresh payload at {fresh_path}")
+                continue
+            shutil.copyfile(fresh_path, baseline_path)
+            print(f"[BASELINE] {label}: {fresh_path} -> {baseline_path}")
+            updated += 1
+        if not updated:
+            print(
+                "repro: error: --update found no fresh payloads "
+                "(run repro bench-sim/bench-reorder --smoke --json first)",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
+    if not args.check:
+        print("repro: error: bench needs --check or --update", file=sys.stderr)
+        return 2
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    results, skipped = check_files(pairs, tolerance=tolerance, strict=args.strict)
+    print(format_gate_report(results, skipped))
+    ledger = getattr(args, "_ledger", None)
+    if ledger is not None:
+        ledger.record(
+            "bench",
+            {
+                "tolerance": tolerance,
+                "strict": bool(args.strict),
+                "results": [r.to_json() for r in results],
+                "skipped": list(skipped),
+            },
+        )
+    passed = all(r.passed for r in results)
+    if not results and not skipped:
+        print("repro: error: nothing to gate", file=sys.stderr)
+        return 2
+    if passed:
+        print("bench gate: PASS")
+        return 0
+    print("bench gate: FAIL (perf regression or correctness mismatch)", file=sys.stderr)
+    return 1
 
 
 def _cmd_version(args: argparse.Namespace) -> int:

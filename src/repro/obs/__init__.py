@@ -31,10 +31,17 @@ from contextlib import contextmanager
 from typing import Iterator, Mapping, Optional
 
 from repro.obs.clock import Clock, FakeClock, MonotonicClock
-from repro.obs.core import Instrumentation, Span, SpanTotal
+from repro.obs.core import (
+    EVENT_SCHEMA_VERSION,
+    Instrumentation,
+    Span,
+    SpanTotal,
+    new_span_id,
+)
 from repro.obs.counters import CounterRegistry
+from repro.obs.histogram import Histogram, format_histograms
 from repro.obs.progress import ProgressReporter, format_span_totals
-from repro.obs.sink import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.sink import EventSink, JsonlSink, MemorySink, NullSink, TeeSink
 
 #: Package-wide logger honoring the CLI's ``--log-level``.
 logger = logging.getLogger("repro")
@@ -84,8 +91,10 @@ def using(instr: Instrumentation) -> Iterator[Instrumentation]:
 __all__ = [
     "Clock",
     "CounterRegistry",
+    "EVENT_SCHEMA_VERSION",
     "EventSink",
     "FakeClock",
+    "Histogram",
     "Instrumentation",
     "JsonlSink",
     "MemorySink",
@@ -94,10 +103,13 @@ __all__ = [
     "ProgressReporter",
     "Span",
     "SpanTotal",
+    "TeeSink",
     "configure",
+    "format_histograms",
     "format_span_totals",
     "get_obs",
     "logger",
+    "new_span_id",
     "reset",
     "using",
 ]

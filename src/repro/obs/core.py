@@ -1,4 +1,4 @@
-"""The Instrumentation hub: spans, counters, and event emission.
+"""The Instrumentation hub: spans, counters, histograms, event emission.
 
 One :class:`Instrumentation` instance ties together a clock, a sink,
 and a counter registry.  Pipeline code grabs the process-wide instance
@@ -12,27 +12,45 @@ When observability is disabled (the default) ``span`` yields ``None``
 without reading the clock, touching the stack, or emitting — the hot
 path costs one attribute check.
 
-Event schema (one JSON object per line in a :class:`JsonlSink`):
+Event schema v2 (one JSON object per line in a :class:`JsonlSink`):
 
-* span end:  ``{"kind": "span", "run_id": ..., "ts": <clock seconds>,
-  "name": "trace", "path": "experiment.fig2/runner.run/trace",
-  "seconds": 0.012, "status": "ok"|"error", "error": null|"...",
-  "tags": {"matrix": ..., ...}}``
-* counter flush: ``{"kind": "counters", "run_id": ..., "ts": ...,
-  "counters": {...}, "gauges": {...}}``
+* span end:  ``{"kind": "span", "v": 2, "run_id": ...,
+  "span_id": "9f2c...", "parent_id": "41aa..."|null, "pid": 1234,
+  "tid": 5678, "ts": <clock seconds at span end>, "name": "trace",
+  "path": "experiment.fig2/runner.run/trace", "seconds": 0.012,
+  "status": "ok"|"error", "error": null|"...", "tags": {...}}``
+* counter flush: ``{"kind": "counters", "v": 2, "run_id": ...,
+  "ts": ..., "pid": ..., "counters": {...}, "gauges": {...},
+  "histograms": {name: {count, sum, min, max, zero, buckets}}}``
+
+``span_id``/``parent_id`` stitch spans into one logical trace across
+process boundaries: worker processes inherit the parent's ``run_id``
+and root their spans under the parent's current span id (see
+:mod:`repro.parallel.executor` and ``repro trace``).  Every finished
+span's duration is also recorded into the histogram named after the
+span, so latency percentiles come for free at every span site.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.obs.clock import Clock, MonotonicClock
 from repro.obs.counters import CounterRegistry
 from repro.obs.sink import EventSink, NullSink
+
+#: Event schema version stamped on every emitted event.
+EVENT_SCHEMA_VERSION = 2
+
+
+def new_span_id() -> str:
+    """Globally-unique span id (16 hex chars)."""
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass
@@ -50,6 +68,8 @@ class Span:
     seconds: float = 0.0
     status: str = "running"
     error: Optional[str] = None
+    span_id: str = ""
+    parent_id: Optional[str] = None
 
 
 @dataclass
@@ -70,12 +90,22 @@ class Instrumentation:
         enabled: bool = True,
         run_id: Optional[str] = None,
         tags: Optional[Mapping[str, object]] = None,
+        parent_span_id: Optional[str] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.clock = clock if clock is not None else MonotonicClock()
         self.enabled = bool(enabled)
         self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:12]
         self.tags = dict(tags or {})
+        #: Root spans of this instrumentation parent under this id —
+        #: the cross-process stitching hook (a worker sets it to the
+        #: parent process's current span id).
+        self.parent_span_id = parent_span_id
+        #: Directory worker processes should write their event files
+        #: into (``events-w<pid>.jsonl``); ``None`` disables worker
+        #: event capture.  Set by the CLI when a run ledger is active.
+        self.trace_dir = trace_dir
         self.counters = CounterRegistry()
         self._local = threading.local()
         self._agg_lock = threading.Lock()
@@ -83,11 +113,23 @@ class Instrumentation:
 
     # -- spans ----------------------------------------------------------
 
-    def _stack(self) -> "list[str]":
+    def _stack(self) -> "List[Tuple[str, str]]":
+        """Thread-local stack of (span name, span id) frames."""
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost open span on this thread (for stitching).
+
+        Falls back to :attr:`parent_span_id` so a worker that asks
+        before opening any span still roots correctly.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        return stack[-1][1] if stack else self.parent_span_id
 
     @contextmanager
     def span(self, name: str, **tags: object) -> Iterator[Optional[Span]]:
@@ -100,9 +142,14 @@ class Instrumentation:
             yield None
             return
         stack = self._stack()
-        path = "/".join(stack + [name])
-        record = Span(name=name, path=path, tags=dict(tags))
-        stack.append(name)
+        path = "/".join([frame[0] for frame in stack] + [name])
+        span_id = new_span_id()
+        parent_id = stack[-1][1] if stack else self.parent_span_id
+        record = Span(
+            name=name, path=path, tags=dict(tags),
+            span_id=span_id, parent_id=parent_id,
+        )
+        stack.append((name, span_id))
         start = self.clock.now()
         try:
             yield record
@@ -119,10 +166,16 @@ class Instrumentation:
                 total = self._agg.setdefault(name, SpanTotal())
                 total.calls += 1
                 total.seconds += record.seconds
+            self.counters.observe(name, record.seconds)
             self.sink.emit(
                 {
                     "kind": "span",
+                    "v": EVENT_SCHEMA_VERSION,
                     "run_id": self.run_id,
+                    "span_id": record.span_id,
+                    "parent_id": record.parent_id,
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident(),
                     "ts": end,
                     "name": record.name,
                     "path": record.path,
@@ -178,6 +231,25 @@ class Instrumentation:
         if self.enabled:
             self.counters.set_gauge(name, value)
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram sample (retry counts, latencies, …)."""
+        if self.enabled:
+            self.counters.observe(name, value)
+
+    def merge_counter_snapshot(self, snapshot: Mapping[str, object]) -> None:
+        """Fold one worker's counter snapshot into this registry.
+
+        ``snapshot`` is :meth:`CounterRegistry.snapshot` output shipped
+        across the process boundary.  Counters add, gauges merge
+        max-wins (deterministic regardless of worker completion order),
+        histograms merge exactly by bucket addition.
+        """
+        if not self.enabled:
+            return
+        self.counters.add_many(snapshot.get("counters", {}))  # type: ignore[arg-type]
+        self.counters.merge_gauges(snapshot.get("gauges", {}))  # type: ignore[arg-type]
+        self.counters.merge_histograms(snapshot.get("histograms", {}))  # type: ignore[arg-type]
+
     def flush(self) -> None:
         """Emit one ``counters`` event with the current snapshot."""
         if not self.enabled:
@@ -186,10 +258,13 @@ class Instrumentation:
         self.sink.emit(
             {
                 "kind": "counters",
+                "v": EVENT_SCHEMA_VERSION,
                 "run_id": self.run_id,
                 "ts": self.clock.now(),
+                "pid": os.getpid(),
                 "counters": snapshot["counters"],
                 "gauges": snapshot["gauges"],
+                "histograms": snapshot["histograms"],
             }
         )
 

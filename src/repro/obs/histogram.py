@@ -1,0 +1,220 @@
+"""Log-bucketed latency histograms with exact cross-process merging.
+
+A :class:`Histogram` buckets positive values into geometrically-spaced
+bins (:data:`GROWTH` per bin, four bins per octave, ~19% relative
+resolution) and tracks exact ``count``/``sum``/``min``/``max``.  The
+bucket index of a value is a pure function of the value, so two
+histograms built in different processes from the same observations have
+*identical* bucket arrays, and :meth:`merge` (plain per-bucket count
+addition) is exact — merged worker histograms equal the histogram a
+single process would have built from the same samples.
+
+Percentiles (:meth:`percentile`) use the nearest-rank rule over the
+bucket counts and report the upper bound of the bucket holding that
+rank, clamped to the observed ``[min, max]`` — so a histogram with one
+sample reports that sample for every percentile.
+
+The instrumentation layer records every finished span's duration into
+the histogram named after the span (``reorder``, ``trace``,
+``cache-sim``, ``memo-load``, ``memo-store``, per-cell ``cell``, …),
+which is what ``repro profile`` and the run-ledger summaries report
+p50/p90/p99 from.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+#: Geometric bucket growth factor: 2**(1/4), four buckets per octave.
+GROWTH = 2.0 ** 0.25
+_LOG_GROWTH = math.log(GROWTH)
+
+
+def bucket_index(value: float) -> int:
+    """Bucket of a positive value: bucket ``i`` covers ``(g**(i-1), g**i]``.
+
+    Pure function of the value (no per-instance state), which is what
+    makes merges across processes exact.
+    """
+    index = math.ceil(math.log(value) / _LOG_GROWTH)
+    # Float error can land an exact boundary one bucket high; nudge back.
+    if GROWTH ** (index - 1) >= value:
+        index -= 1
+    return index
+
+
+def bucket_upper_bound(index: int) -> float:
+    return GROWTH ** index
+
+
+class Histogram:
+    """Mergeable log-bucketed histogram of non-negative samples.
+
+    Values ``<= 0`` (FakeClock zero-tick durations, counts of zero) go
+    to a dedicated zero bucket rather than being dropped, so ``count``
+    always equals the number of :meth:`observe` calls.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "zero_count", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.zero_count = 0
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+        if v <= 0.0:
+            self.zero_count += 1
+        else:
+            index = bucket_index(v)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    # -- queries --------------------------------------------------------
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; ``q`` in ``[0, 1]``.
+
+        Returns the upper bound of the bucket containing the rank,
+        clamped to the exact observed ``[min, max]``.  Raises
+        :class:`ValueError` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("percentile of an empty histogram")
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = self.zero_count
+        if cumulative >= rank:
+            return max(0.0, self.min if self.min is not None else 0.0)
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                value = bucket_upper_bound(index)
+                return min(max(value, self.min), self.max)  # type: ignore[arg-type]
+        # Unreachable if counts are consistent, but never crash a report.
+        return self.max if self.max is not None else 0.0  # pragma: no cover
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    # -- merging --------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (exact: bucket addition)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        self.zero_count += other.zero_count
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+
+    def copy(self) -> "Histogram":
+        clone = Histogram()
+        clone.merge(self)
+        return clone
+
+    # -- serialization --------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """Wire format shipped from worker processes and sunk in flushes."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "zero": self.zero_count,
+            # JSON object keys must be strings; sorted for determinism.
+            "buckets": {str(i): self.buckets[i] for i in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "Histogram":
+        hist = cls()
+        hist.count = int(payload.get("count", 0))  # type: ignore[arg-type]
+        hist.total = float(payload.get("sum", 0.0))  # type: ignore[arg-type]
+        raw_min = payload.get("min")
+        raw_max = payload.get("max")
+        hist.min = None if raw_min is None else float(raw_min)  # type: ignore[arg-type]
+        hist.max = None if raw_max is None else float(raw_max)  # type: ignore[arg-type]
+        hist.zero_count = int(payload.get("zero", 0))  # type: ignore[arg-type]
+        buckets = payload.get("buckets", {})
+        if isinstance(buckets, dict):
+            hist.buckets = {int(k): int(v) for k, v in buckets.items()}
+        return hist
+
+    def summary(self) -> Dict[str, object]:
+        """Compact p50/p90/p99 digest for manifests and reports."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "p50": None, "p90": None, "p99": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, sum={self.total:.6f}, "
+            f"buckets={len(self.buckets)})"
+        )
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    if value > 0.0:
+        return f"{value * 1e6:.1f}us"
+    return "0"
+
+
+def format_histograms(
+    histograms: Dict[str, Histogram], title: str = "phase"
+) -> str:
+    """Monospace ``phase | count | p50 | p90 | p99 | max`` table.
+
+    Rows are sorted by total accumulated time, largest first, matching
+    the span-totals table so the two reports line up.
+    """
+    if not histograms:
+        return "(no histograms recorded)"
+    rows: List[Tuple[str, Histogram]] = sorted(
+        histograms.items(), key=lambda kv: kv[1].total, reverse=True
+    )
+    name_width = max(len(title), max(len(name) for name, _ in rows))
+    header = (
+        f"{title.ljust(name_width)}  {'count':>6}  {'p50':>9}  "
+        f"{'p90':>9}  {'p99':>9}  {'max':>9}"
+    )
+    lines = [header, f"{'-' * name_width}  {'-' * 6}  " + "  ".join(["-" * 9] * 4)]
+    for name, hist in rows:
+        if hist.count == 0:
+            continue
+        lines.append(
+            f"{name.ljust(name_width)}  {hist.count:>6d}  "
+            f"{_fmt_seconds(hist.percentile(0.50)):>9}  "
+            f"{_fmt_seconds(hist.percentile(0.90)):>9}  "
+            f"{_fmt_seconds(hist.percentile(0.99)):>9}  "
+            f"{_fmt_seconds(hist.max):>9}"
+        )
+    return "\n".join(lines)

@@ -46,6 +46,21 @@ class MemorySink(EventSink):
             return [e for e in self.events if e.get("kind") == kind]
 
 
+class TeeSink(EventSink):
+    """Fans every event out to several sinks (ledger + ``--log-file``)."""
+
+    def __init__(self, sinks: List[EventSink]) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, event: Dict[str, object]) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
 class JsonlSink(EventSink):
     """Appends one JSON object per line to a file (or a given stream)."""
 

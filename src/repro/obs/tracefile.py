@@ -1,0 +1,230 @@
+"""Reading stitched JSONL event files and rendering span trees.
+
+A run's events live under ``runs/<run_id>/`` as one or more JSONL
+files: ``events.jsonl`` written by the parent process and
+``events-w<pid>.jsonl`` written by each pool worker (see
+:mod:`repro.parallel.executor`).  All files share one ``run_id`` and a
+single span-id space, so the union of their span events is one logical
+trace; :func:`build_span_tree` reassembles it and ``repro trace``
+renders it.
+
+The reader is deliberately tolerant: a crashed worker leaves a
+truncated final line, a concurrent writer may interleave garbage, and
+old files may predate the v2 schema.  :func:`read_events` never raises
+on malformed input — it skips bad lines and *counts* them, so the CLI
+can report ``skipped N malformed line(s)`` instead of crashing
+(and instead of silently pretending the trace is complete).
+
+:func:`to_chrome_trace` exports the span set as Chrome trace-event
+JSON (``{"traceEvents": [...]}``, ``ph: "X"`` complete events with
+microsecond timestamps) loadable in Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class EventReadResult:
+    """Every parseable event plus the damage tally per source file."""
+
+    events: List[Dict[str, object]] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    bad_lines: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bad_lines(self) -> int:
+        return sum(self.bad_lines.values())
+
+    def spans(self) -> List[Dict[str, object]]:
+        return [e for e in self.events if e.get("kind") == "span"]
+
+
+def read_event_file(path: str, result: EventReadResult) -> None:
+    """Append one file's parseable events to ``result``, counting damage."""
+    result.files.append(path)
+    result.bad_lines.setdefault(path, 0)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    result.bad_lines[path] += 1
+                    continue
+                if not isinstance(event, dict) or "kind" not in event:
+                    result.bad_lines[path] += 1
+                    continue
+                result.events.append(event)
+    except OSError:
+        # A file that vanished mid-scan counts as one bad line so the
+        # report still says something was lost.
+        result.bad_lines[path] += 1
+
+
+def read_events(run_dir: str) -> EventReadResult:
+    """Parse every ``events*.jsonl`` under ``run_dir``, tolerant of damage."""
+    result = EventReadResult()
+    for path in sorted(glob.glob(os.path.join(run_dir, "events*.jsonl"))):
+        read_event_file(path, result)
+    return result
+
+
+# -- span tree ----------------------------------------------------------
+
+
+@dataclass
+class SpanNode:
+    """One span event plus its stitched children."""
+
+    event: Dict[str, object]
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return str(self.event.get("name", "?"))
+
+    @property
+    def seconds(self) -> float:
+        return float(self.event.get("seconds", 0.0))  # type: ignore[arg-type]
+
+    @property
+    def start(self) -> float:
+        return float(self.event.get("ts", 0.0)) - self.seconds  # type: ignore[arg-type]
+
+    @property
+    def pid(self) -> Optional[int]:
+        pid = self.event.get("pid")
+        return int(pid) if pid is not None else None  # type: ignore[arg-type]
+
+
+def build_span_tree(
+    spans: List[Dict[str, object]],
+) -> Tuple[List[SpanNode], int]:
+    """Stitch span events into a forest via ``span_id``/``parent_id``.
+
+    Returns ``(roots, orphans)`` where *orphans* counts spans whose
+    ``parent_id`` names a span that never made it into the event files
+    (e.g. a parent that was still open when a worker was killed); such
+    spans are promoted to roots rather than dropped.  Pre-v2 events
+    without a ``span_id`` also become roots.
+    """
+    nodes: Dict[str, SpanNode] = {}
+    anonymous: List[SpanNode] = []
+    for event in spans:
+        node = SpanNode(event)
+        span_id = event.get("span_id")
+        if isinstance(span_id, str) and span_id:
+            nodes[span_id] = node
+        else:
+            anonymous.append(node)
+    roots: List[SpanNode] = list(anonymous)
+    orphans = 0
+    for node in nodes.values():
+        parent_id = node.event.get("parent_id")
+        if isinstance(parent_id, str) and parent_id in nodes:
+            nodes[parent_id].children.append(node)
+        else:
+            if isinstance(parent_id, str) and parent_id:
+                orphans += 1
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.start)
+    roots.sort(key=lambda n: n.start)
+    return roots, orphans
+
+
+def render_span_tree(roots: List[SpanNode], max_depth: int = 32) -> str:
+    """Indented ASCII tree: name [tags] — seconds, status, pid."""
+    lines: List[str] = []
+
+    def describe(node: SpanNode) -> str:
+        tags = node.event.get("tags") or {}
+        tag_text = ""
+        if isinstance(tags, dict) and tags:
+            inner = ", ".join(f"{k}={tags[k]}" for k in sorted(tags))
+            tag_text = f" [{inner}]"
+        status = str(node.event.get("status", "?"))
+        suffix = "" if status == "ok" else f" {status.upper()}"
+        pid = node.pid
+        pid_text = f" pid={pid}" if pid is not None else ""
+        return f"{node.name}{tag_text}  {node.seconds:.4f}s{suffix}{pid_text}"
+
+    def walk(node: SpanNode, depth: int) -> None:
+        if depth > max_depth:
+            return
+        lines.append("  " * depth + describe(node))
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(no spans)"
+
+
+# -- Chrome trace-event export ------------------------------------------
+
+
+def to_chrome_trace(spans: List[Dict[str, object]]) -> Dict[str, object]:
+    """Chrome trace-event JSON from span events (Perfetto-loadable).
+
+    Emits one ``ph: "X"`` (complete) event per span with microsecond
+    ``ts``/``dur`` rebased to the earliest span start, plus a
+    ``process_name`` metadata event per pid.  ``ts`` values from
+    different processes share an epoch because the span clock is
+    ``time.perf_counter`` (``CLOCK_MONOTONIC`` on Linux, one epoch per
+    boot), which is what makes cross-process lanes line up.
+    """
+    events: List[Dict[str, object]] = []
+    if spans:
+        t0 = min(
+            float(e.get("ts", 0.0)) - float(e.get("seconds", 0.0))  # type: ignore[arg-type]
+            for e in spans
+        )
+    else:
+        t0 = 0.0
+    pids = set()
+    for event in spans:
+        seconds = float(event.get("seconds", 0.0))  # type: ignore[arg-type]
+        start = float(event.get("ts", 0.0)) - seconds  # type: ignore[arg-type]
+        pid = int(event.get("pid", 0))  # type: ignore[arg-type]
+        tid = int(event.get("tid", pid))  # type: ignore[arg-type]
+        pids.add(pid)
+        tags = event.get("tags") or {}
+        args: Dict[str, object] = dict(tags) if isinstance(tags, dict) else {}
+        args["path"] = event.get("path")
+        args["status"] = event.get("status")
+        if event.get("error"):
+            args["error"] = event.get("error")
+        events.append(
+            {
+                "name": str(event.get("name", "?")),
+                "cat": "span",
+                "ph": "X",
+                "ts": (start - t0) * 1e6,
+                "dur": seconds * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    run_id = str(spans[0].get("run_id", "")) if spans else ""
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro {run_id} pid {pid}"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -25,6 +25,7 @@ from repro.parallel.cells import (
 from repro.parallel.executor import (
     ParallelStats,
     RunnerConfig,
+    TraceContext,
     execute_cells,
     precompute,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "Cell",
     "ParallelStats",
     "RunnerConfig",
+    "TraceContext",
     "dedupe_cells",
     "driver_plan",
     "execute_cells",

@@ -34,12 +34,23 @@ Completed cell labels are checkpointed to the optional
 ``--resume`` after a kill.
 
 Observability: each worker runs its cell under a private, enabled
-:class:`Instrumentation` and ships the resulting counters and span
-totals back with the result; the parent folds them into its own
-instrumentation (:meth:`Instrumentation.merge_span_totals` /
-``add_counters``) so ``repro profile`` and ``repro cache-stats`` stay
-truthful under parallelism.  Recovery actions tick the
-``resilience.retries`` / ``resilience.cells_failed`` counters.
+:class:`Instrumentation` and ships its full counter snapshot
+(counters, gauges, histograms) plus span totals back with the result;
+the parent folds them in (:meth:`Instrumentation.merge_counter_snapshot`
+/ :meth:`~Instrumentation.merge_span_totals`) so ``repro profile`` and
+``repro cache-stats`` stay truthful under parallelism.  Counters add,
+gauges merge max-wins, histograms merge exactly by bucket addition —
+all order-independent folds, so parallel telemetry is deterministic
+regardless of pool completion order.  Recovery actions tick the
+``resilience.retries`` / ``resilience.cells_failed`` counters and the
+``cell.attempts`` histogram.
+
+Trace stitching: when the parent instrumentation is enabled, workers
+inherit a :class:`TraceContext` — the parent's ``run_id``, its current
+span id, and (when a run ledger is active) the run directory.  Each
+worker roots its spans under the parent span id and appends its events
+to ``events-w<pid>.jsonl`` in the run directory, so ``repro trace
+<run_id>`` reassembles one logical span tree across every process.
 
 Workers are spawned (not forked) so the path behaves identically on
 Linux, macOS and Windows and never inherits parent threads mid-state.
@@ -58,7 +69,15 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro.errors import SweepFailure, ValidationError
 from repro.experiments.runner import ExperimentRunner
 from repro.gpu.specs import PlatformSpec
-from repro.obs import Clock, Instrumentation, ProgressReporter, get_obs, logger, using
+from repro.obs import (
+    Clock,
+    Instrumentation,
+    JsonlSink,
+    ProgressReporter,
+    get_obs,
+    logger,
+    using,
+)
 from repro.parallel.cells import METRICS, Cell, dedupe_cells
 from repro.parallel.planner import plan_cells
 from repro.resilience import (
@@ -110,6 +129,32 @@ class RunnerConfig:
         )
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable trace inheritance shipped to workers via ``initargs``.
+
+    ``run_id`` keeps every process's events in one logical trace;
+    ``parent_span_id`` is the parent's span open at pool construction
+    (the experiment root), so worker spans stitch under it;
+    ``events_dir`` is the run-ledger directory workers append their
+    ``events-w<pid>.jsonl`` to (``None`` when no ledger is active).
+    """
+
+    run_id: str
+    parent_span_id: Optional[str] = None
+    events_dir: Optional[str] = None
+
+    @classmethod
+    def from_obs(cls, instr: Instrumentation) -> Optional["TraceContext"]:
+        if not instr.enabled:
+            return None
+        return cls(
+            run_id=instr.run_id,
+            parent_span_id=instr.current_span_id(),
+            events_dir=instr.trace_dir,
+        )
+
+
 @dataclass
 class ParallelStats:
     """What one :func:`execute_cells` call did."""
@@ -134,10 +179,12 @@ def _init_worker(
     config: RunnerConfig,
     clock: Optional[Clock],
     cell_timeout: Optional[float] = None,
+    trace: Optional[TraceContext] = None,
 ) -> None:
     _WORKER["runner"] = config.make_runner()
     _WORKER["clock"] = clock
     _WORKER["timeout"] = cell_timeout
+    _WORKER["trace"] = trace
 
 
 def _execute_one(runner: ExperimentRunner, cell: Cell) -> None:
@@ -157,11 +204,18 @@ def _attempt_cell(
     runner: ExperimentRunner, cell: Cell, cell_timeout: Optional[float]
 ) -> None:
     """One attempt at one cell: the fault site runs inside the deadline
-    so injected delays can exercise the timeout path."""
+    so injected delays can exercise the timeout path.
+
+    The whole attempt runs under a ``cell`` span — the per-cell
+    wall-time histogram and the unit of the stitched trace.  This is
+    the single site both the in-process (``jobs=1``) and pool paths go
+    through, so their telemetry shapes agree.
+    """
     label = cell.label()
-    with cell_deadline(cell_timeout, label):
-        fault_point("cell.execute", label=label)
-        _execute_one(runner, cell)
+    with get_obs().span("cell", cell=label):
+        with cell_deadline(cell_timeout, label):
+            fault_point("cell.execute", label=label)
+            _execute_one(runner, cell)
 
 
 class _CellFailure(Exception):
@@ -198,38 +252,62 @@ def _group_cells(cells: List[Cell]) -> List[Tuple[Cell, ...]]:
 
 def _run_group(
     cells: Tuple[Cell, ...],
-) -> Tuple[List[str], Dict[str, float], Dict[str, Tuple[int, float]]]:
+) -> Tuple[List[str], Dict[str, Dict[str, object]], Dict[str, Tuple[int, float]]]:
     """Worker entry point: simulate one cell group into the shared memo.
 
-    Returns the completed cell labels plus the counter and span-total
-    deltas the group caused, measured by a fresh per-group
-    instrumentation.  A failing cell raises :class:`_CellFailure`
-    carrying its label and transient classification; on a retried group
-    the already-memoized cells replay as cache hits.
+    Returns the completed cell labels plus the full counter snapshot
+    (counters, gauges, histograms) and span-total deltas the group
+    caused, measured by a fresh per-group instrumentation.  When a
+    :class:`TraceContext` was inherited, that instrumentation shares
+    the parent's ``run_id``, roots its spans under the parent's span
+    id, and appends events to ``events-w<pid>.jsonl`` in the run
+    directory — one logical trace across processes.  A failing cell
+    raises :class:`_CellFailure` carrying its label and transient
+    classification; on a retried group the already-memoized cells
+    replay as cache hits.
     """
     runner: ExperimentRunner = _WORKER["runner"]  # type: ignore[assignment]
-    instr = Instrumentation(clock=_WORKER.get("clock"), enabled=True)  # type: ignore[arg-type]
     timeout: Optional[float] = _WORKER.get("timeout")  # type: ignore[assignment]
+    trace: Optional[TraceContext] = _WORKER.get("trace")  # type: ignore[assignment]
+    sink = None
+    if trace is not None and trace.events_dir:
+        sink = JsonlSink(
+            path=os.path.join(trace.events_dir, f"events-w{os.getpid()}.jsonl")
+        )
+    instr = Instrumentation(
+        sink=sink,
+        clock=_WORKER.get("clock"),  # type: ignore[arg-type]
+        enabled=True,
+        run_id=trace.run_id if trace is not None else None,
+        parent_span_id=trace.parent_span_id if trace is not None else None,
+    )
+    instr.gauge("parallel.group_cells", len(cells))
     done: List[str] = []
-    with using(instr):
-        for cell in cells:
-            try:
-                _attempt_cell(runner, cell, timeout)
-            except Exception as exc:
-                raise _CellFailure(
-                    cell.label(),
-                    str(exc),
-                    error_type=type(exc).__name__,
-                    transient=is_transient(exc),
-                    tb=traceback.format_exc(),
-                ) from exc
-            done.append(cell.label())
-    counters = instr.counters.snapshot()["counters"]
+    try:
+        with using(instr):
+            for cell in cells:
+                try:
+                    _attempt_cell(runner, cell, timeout)
+                except Exception as exc:
+                    raise _CellFailure(
+                        cell.label(),
+                        str(exc),
+                        error_type=type(exc).__name__,
+                        transient=is_transient(exc),
+                        tb=traceback.format_exc(),
+                    ) from exc
+                # One attempt per cell in pool mode (retries resubmit
+                # the group), mirroring the jobs=1 path's histogram.
+                instr.observe("cell.attempts", 1)
+                done.append(cell.label())
+    finally:
+        instr.close()
+    snapshot = instr.counters.snapshot()
     spans = {
         name: (total.calls, total.seconds)
         for name, total in instr.span_totals().items()
     }
-    return done, counters, spans
+    return done, snapshot, spans
 
 
 def _cell_memo_path(runner: ExperimentRunner, cell: Cell) -> str:
@@ -253,6 +331,7 @@ def _run_cell_with_retry(
     for attempt in range(1, retry.max_attempts + 1):
         try:
             _attempt_cell(runner, cell, cell_timeout)
+            obs.observe("cell.attempts", attempt)
             return None
         except Exception as exc:
             transient = is_transient(exc)
@@ -368,7 +447,7 @@ def execute_cells(
                     manifest.mark_cell(cell.label())
                 if progress is not None:
                     progress.update(cell.label())
-        obs.add_counters(instr.counters.snapshot()["counters"])
+        obs.merge_counter_snapshot(instr.counters.snapshot())
         obs.merge_span_totals(
             {n: (t.calls, t.seconds) for n, t in instr.span_totals().items()}
         )
@@ -428,6 +507,7 @@ def _execute_pool(
     """Pool execution in retry rounds: a broken pool is rebuilt, failed
     groups re-enter the next round until their attempt budget runs out."""
     obs = get_obs()
+    trace = TraceContext.from_obs(obs)
     context = multiprocessing.get_context("spawn")
     remaining = _group_cells(pending)
     attempts: Dict[Tuple[Cell, ...], int] = {group: 0 for group in remaining}
@@ -459,7 +539,7 @@ def _execute_pool(
             max_workers=min(jobs, len(round_groups)),
             mp_context=context,
             initializer=_init_worker,
-            initargs=(config, worker_clock, cell_timeout),
+            initargs=(config, worker_clock, cell_timeout, trace),
         ) as pool:
             futures = {
                 pool.submit(_run_group, group): group for group in round_groups
@@ -467,7 +547,7 @@ def _execute_pool(
             for future in as_completed(futures):
                 group = futures[future]
                 try:
-                    done, counters, spans = future.result()
+                    done, snapshot, spans = future.result()
                 except BaseException as exc:
                     requeue = _handle_group_failure(
                         group, exc, attempts, retry, keep_going, stats, config
@@ -479,7 +559,7 @@ def _execute_pool(
                         break
                     remaining.extend(requeue)
                     continue
-                obs.add_counters(counters)
+                obs.merge_counter_snapshot(snapshot)
                 obs.merge_span_totals(spans)
                 fresh = [label for label in done if label not in completed]
                 completed.update(fresh)

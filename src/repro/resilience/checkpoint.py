@@ -44,6 +44,10 @@ class SweepManifest:
     completed_cells: Set[str] = field(default_factory=set)
     completed_drivers: Set[str] = field(default_factory=set)
     failures: FailureReport = field(default_factory=FailureReport)
+    #: Run-ledger ids of every sweep that touched this manifest —
+    #: provenance linking a resumed sweep back to the ``runs/<run_id>/``
+    #: directories that produced it.  Additive: absent in old manifests.
+    run_ids: Set[str] = field(default_factory=set)
 
     @staticmethod
     def path_for(cache_dir: str) -> str:
@@ -94,6 +98,7 @@ class SweepManifest:
             failures=FailureReport.from_json(
                 payload.get("failures", {})  # type: ignore[arg-type]
             ),
+            run_ids=set(payload.get("run_ids", ())),
         )
 
     @classmethod
@@ -147,6 +152,13 @@ class SweepManifest:
         self.failures = report
         self.save()
 
+    def add_run_id(self, run_id: str) -> None:
+        """Link this sweep to its run-ledger directory (provenance)."""
+        if run_id in self.run_ids:
+            return
+        self.run_ids.add(run_id)
+        self.save()
+
     def save(self) -> None:
         payload = {
             "manifest_version": MANIFEST_VERSION,
@@ -154,5 +166,6 @@ class SweepManifest:
             "completed_cells": sorted(self.completed_cells),
             "completed_drivers": sorted(self.completed_drivers),
             "failures": self.failures.to_json(),
+            "run_ids": sorted(self.run_ids),
         }
         atomic_write_document(self.path, wrap_payload(payload))

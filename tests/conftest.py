@@ -18,6 +18,17 @@ from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import COOMatrix
 
 
+@pytest.fixture(autouse=True)
+def _isolate_run_ledger(tmp_path, monkeypatch):
+    """Keep every test's run ledger out of the repo working tree.
+
+    CLI commands write ``runs/<run_id>/`` relative to the cwd by
+    default; tests run from the repo root, so without this they would
+    litter ``./runs``.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 def undirected_graph(n: int, edges) -> Graph:
     """Build an undirected Graph from a list of (u, v) pairs."""
     u = np.asarray([a for a, _ in edges], dtype=np.int64)

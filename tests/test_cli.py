@@ -101,6 +101,66 @@ class TestObservabilityCli:
         assert main(["--quiet", "techniques"]) == 0
         assert "rabbit++" in capsys.readouterr().out
 
+    def test_profile_prints_histogram_percentiles(self, capsys):
+        assert main(
+            ["profile", "test-mesh", "--technique", "rabbit", "--profile", "test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "latency percentiles" in out
+        # The percentile table carries the phase histograms, not just
+        # span-total sums.
+        header = [line for line in out.splitlines() if "p50" in line][0]
+        assert "p90" in header and "p99" in header
+        assert any(
+            line.startswith("cache-sim") for line in out.splitlines()
+        )
+
+    def test_cache_stats_reports_empty_quarantine(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        assert main(["cache-stats"]) == 0
+        assert "quarantine: empty" in capsys.readouterr().out
+
+    def test_cache_stats_reports_quarantine_contents(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        memo = tmp_path / "memo"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(memo))
+        assert main(["--quiet", "metrics", "test-mesh", "--profile", "test"]) == 0
+        # Damage a memo file, then let doctor quarantine it.
+        victim = next(f for f in memo.iterdir() if f.name.startswith("metrics-"))
+        victim.write_text("{corrupt")
+        assert main(["doctor", "--quarantine"]) == 1
+        capsys.readouterr()
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantine: 1 file(s)" in out
+        assert "bytes" in out
+        assert "newest:" in out and victim.name.split(".json")[0] in out
+
+    def test_span_events_carry_v2_schema_fields(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        log = tmp_path / "run.jsonl"
+        assert main(
+            ["--log-file", str(log), "--quiet", "--no-ledger",
+             "metrics", "test-mesh", "--profile", "test"]
+        ) == 0
+        spans = [
+            json.loads(line)
+            for line in log.read_text().splitlines()
+            if json.loads(line)["kind"] == "span"
+        ]
+        assert spans
+        for event in spans:
+            assert event["v"] == 2
+            assert len(event["span_id"]) == 16
+            assert "parent_id" in event
+            assert event["pid"] > 0 and event["tid"] > 0
+        # Nested spans reference their parent's id.
+        by_id = {e["span_id"]: e for e in spans}
+        children = [e for e in spans if e["parent_id"] is not None]
+        assert children
+        assert all(e["parent_id"] in by_id for e in children)
+
 
 class TestParallelCli:
     def test_experiment_jobs_flag_precomputes_then_replays(

@@ -1,0 +1,193 @@
+"""Log-bucketed histograms: bucketing, percentiles, exact merging."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.histogram import (
+    GROWTH,
+    Histogram,
+    bucket_index,
+    bucket_upper_bound,
+    format_histograms,
+)
+
+
+class TestBucketIndex:
+    def test_bucket_covers_half_open_interval(self):
+        # Bucket i covers (g**(i-1), g**i]: the upper bound maps to its
+        # own bucket, a nudge above it maps to the next.
+        for i in (-8, -1, 0, 1, 5, 40):
+            bound = bucket_upper_bound(i)
+            assert bucket_index(bound) == i
+            assert bucket_index(bound * 1.0001) == i + 1
+
+    def test_pure_function_of_value(self):
+        # Same value -> same bucket, no per-instance state involved.
+        values = [10 ** random.Random(7).uniform(-7, 3) for _ in range(200)]
+        assert [bucket_index(v) for v in values] == [bucket_index(v) for v in values]
+
+    def test_relative_resolution_bound(self):
+        # Bucket width is one GROWTH factor: reported upper bound is at
+        # most ~19% above the true value.
+        for v in (1e-6, 3.7e-4, 0.5, 12.0, 999.0):
+            upper = bucket_upper_bound(bucket_index(v))
+            assert v <= upper <= v * GROWTH * 1.0001
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        hist = Histogram()
+        for v in (0.5, 2.0, 0.25):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(2.75)
+        assert hist.min == 0.25
+        assert hist.max == 2.0
+        assert hist.mean() == pytest.approx(2.75 / 3)
+
+    def test_zero_and_negative_go_to_zero_bucket(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(-1.0)
+        hist.observe(1.0)
+        assert hist.count == 3
+        assert hist.zero_count == 2
+        assert sum(hist.buckets.values()) == 1
+
+    def test_single_sample_percentiles_are_exact(self):
+        hist = Histogram()
+        hist.observe(0.0123)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert hist.percentile(q) == pytest.approx(0.0123)
+
+    def test_percentile_clamped_to_observed_range(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0, 100.0):
+            hist.observe(v)
+        assert hist.percentile(1.0) == 100.0
+        assert hist.percentile(0.0) >= 1.0
+        # p50 lands in a real bucket, within resolution of the rank-2
+        # sample.
+        assert 1.0 <= hist.percentile(0.5) <= 2.0 * GROWTH
+
+    def test_percentile_nearest_rank_ordering(self):
+        hist = Histogram()
+        for v in [0.001] * 90 + [1.0] * 10:
+            hist.observe(v)
+        assert hist.percentile(0.5) <= 0.001 * GROWTH
+        assert hist.percentile(0.99) >= 1.0 / GROWTH
+
+    def test_percentile_of_all_zero_samples(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(0.0)
+        assert hist.percentile(0.5) == 0.0
+        assert hist.percentile(0.99) == 0.0
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5)
+
+    def test_out_of_range_q_raises(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+
+
+class TestMerge:
+    def test_merge_equals_single_histogram(self):
+        """The exactness invariant: merged shards == one histogram."""
+        rng = random.Random(42)
+        values = [10 ** rng.uniform(-6, 2) for _ in range(500)] + [0.0] * 7
+        whole = Histogram()
+        for v in values:
+            whole.observe(v)
+        shards = [Histogram() for _ in range(4)]
+        for i, v in enumerate(values):
+            shards[i % 4].observe(v)
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.buckets == whole.buckets
+        assert merged.count == whole.count
+        assert merged.zero_count == whole.zero_count
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        for q in (0.5, 0.9, 0.99):
+            assert merged.percentile(q) == whole.percentile(q)
+
+    def test_merge_order_independent(self):
+        a, b, c = Histogram(), Histogram(), Histogram()
+        for hist, values in ((a, [0.1, 5.0]), (b, [0.2]), (c, [0.0, 9.0])):
+            for v in values:
+                hist.observe(v)
+        forward = Histogram()
+        for h in (a, b, c):
+            forward.merge(h)
+        backward = Histogram()
+        for h in (c, b, a):
+            backward.merge(h)
+        fj, bj = forward.to_json(), backward.to_json()
+        # Bucket counts are integers: exactly order-independent.  The
+        # float sum is only order-independent up to addition rounding.
+        assert fj.pop("sum") == pytest.approx(bj.pop("sum"))
+        assert fj == bj
+
+    def test_merge_empty_is_identity(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        before = hist.to_json()
+        hist.merge(Histogram())
+        assert hist.to_json() == before
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        hist = Histogram()
+        for v in (0.0, 1e-5, 0.3, 7.0):
+            hist.observe(v)
+        payload = json.loads(json.dumps(hist.to_json()))
+        restored = Histogram.from_json(payload)
+        assert restored.to_json() == hist.to_json()
+        assert restored.percentile(0.9) == hist.percentile(0.9)
+
+    def test_empty_round_trip(self):
+        restored = Histogram.from_json(json.loads(json.dumps(Histogram().to_json())))
+        assert restored.count == 0
+        assert restored.min is None
+
+    def test_summary_shape(self):
+        hist = Histogram()
+        hist.observe(2.0)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["p50"] == pytest.approx(2.0)
+        empty = Histogram().summary()
+        assert empty == {
+            "count": 0, "sum": 0.0, "min": None, "max": None,
+            "p50": None, "p90": None, "p99": None,
+        }
+
+
+class TestFormatting:
+    def test_table_sorted_by_total_and_skips_empty(self):
+        hists = {"slow": Histogram(), "fast": Histogram(), "never": Histogram()}
+        for _ in range(3):
+            hists["slow"].observe(2.0)
+        hists["fast"].observe(0.001)
+        text = format_histograms(hists)
+        lines = text.splitlines()
+        assert "p50" in lines[0] and "p99" in lines[0]
+        body = [line for line in lines[2:]]
+        assert body[0].startswith("slow")
+        assert body[1].startswith("fast")
+        assert not any(line.startswith("never") for line in body)
+
+    def test_empty_mapping(self):
+        assert "no histograms" in format_histograms({})

@@ -1,0 +1,168 @@
+"""Run ledger: manifest lifecycle, runs-dir resolution, CLI browsing."""
+
+import json
+import os
+
+from repro.cli import main
+from repro.obs import FakeClock, Instrumentation
+from repro.obs.ledger import (
+    RunLedger,
+    find_run_dir,
+    list_runs,
+    load_manifest,
+    resolve_runs_dir,
+)
+
+
+class TestResolveRunsDir:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", "/env/runs")
+        assert resolve_runs_dir("/arg/runs") == "/arg/runs"
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", "/env/runs")
+        assert resolve_runs_dir(None) == "/env/runs"
+
+    def test_default_is_cwd_runs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNS_DIR", raising=False)
+        assert resolve_runs_dir(None) == os.path.join(os.getcwd(), "runs")
+
+
+class TestRunLedger:
+    def test_create_writes_running_stub(self, tmp_path):
+        ledger = RunLedger.create(
+            str(tmp_path), kind="experiment", argv=["experiment", "fig2"],
+            config={"profile": "test"},
+        )
+        manifest = json.load(open(ledger.manifest_path))
+        assert manifest["status"] == "running"
+        assert manifest["kind"] == "experiment"
+        assert manifest["argv"] == ["experiment", "fig2"]
+        assert manifest["config"] == {"profile": "test"}
+        assert manifest["run_id"] == ledger.run_id
+
+    def test_finalize_includes_telemetry_and_extras(self, tmp_path):
+        ledger = RunLedger.create(str(tmp_path), kind="experiment", argv=[])
+        instr = Instrumentation(clock=FakeClock(tick=1.0))
+        with instr.span("reorder"):
+            pass
+        instr.counter("memo.run.hit", 3)
+        instr.gauge("corpus.size", 5)
+        ledger.record("failures", {"count": 1})
+        document = ledger.finalize(instr, exit_code=0, status="ok")
+        on_disk = json.load(open(ledger.manifest_path))
+        assert on_disk == json.loads(json.dumps(document, default=str))
+        assert on_disk["status"] == "ok"
+        assert on_disk["exit_code"] == 0
+        assert on_disk["span_totals"]["reorder"] == {"calls": 1, "seconds": 1.0}
+        assert on_disk["histograms"]["reorder"]["count"] == 1
+        assert on_disk["histograms"]["reorder"]["p50"] == 1.0
+        assert on_disk["counters"] == {"memo.run.hit": 3}
+        assert on_disk["gauges"] == {"corpus.size": 5}
+        assert on_disk["failures"] == {"count": 1}
+        assert on_disk["bench"] is None
+
+    def test_finalize_without_instrumentation(self, tmp_path):
+        ledger = RunLedger.create(str(tmp_path), kind="bench-check", argv=[])
+        document = ledger.finalize(None, exit_code=1, status="failed")
+        assert document["status"] == "failed"
+        assert "span_totals" not in document
+
+
+class TestQueries:
+    def make_run(self, runs_dir, run_id, **extra):
+        ledger = RunLedger.create(str(runs_dir), kind="experiment", argv=[], run_id=run_id)
+        for key, value in extra.items():
+            ledger.record(key, value)
+        ledger.finalize(None, exit_code=0, status="ok")
+        return ledger
+
+    def test_find_run_dir_exact_and_prefix(self, tmp_path):
+        self.make_run(tmp_path, "abcdef123456")
+        self.make_run(tmp_path, "abzzzz999999")
+        assert find_run_dir(str(tmp_path), "abcdef123456").endswith("abcdef123456")
+        assert find_run_dir(str(tmp_path), "abc").endswith("abcdef123456")
+        # Ambiguous prefix resolves to nothing rather than guessing.
+        assert find_run_dir(str(tmp_path), "ab") is None
+        assert find_run_dir(str(tmp_path), "zz") is None
+
+    def test_load_manifest_prefix(self, tmp_path):
+        self.make_run(tmp_path, "deadbeef0001")
+        manifest = load_manifest(str(tmp_path), "dead")
+        assert manifest["run_id"] == "deadbeef0001"
+
+    def test_list_runs_newest_first_and_surfaces_damage(self, tmp_path):
+        self.make_run(tmp_path, "older0000001")
+        newer = self.make_run(tmp_path, "newer0000001")
+        # Force deterministic ordering regardless of wall-clock ties.
+        manifest = json.load(open(newer.manifest_path))
+        manifest["started_at"] += 1000
+        json.dump(manifest, open(newer.manifest_path, "w"))
+        broken = tmp_path / "broken000001"
+        broken.mkdir()
+        (broken / "manifest.json").write_text("{not json")
+        listed = list_runs(str(tmp_path))
+        assert [m["run_id"] for m in listed[:2]] == ["newer0000001", "older0000001"]
+        damaged = [m for m in listed if m["run_id"] == "broken000001"]
+        assert damaged and damaged[0]["status"] == "unreadable"
+
+    def test_list_runs_missing_dir(self, tmp_path):
+        assert list_runs(str(tmp_path / "nope")) == []
+
+
+class TestRunsCli:
+    def test_experiment_writes_ledger(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        runs_dir = str(tmp_path / "ledger")
+        assert main(["--runs-dir", runs_dir, "experiment", "table1",
+                     "--profile", "test"]) == 0
+        runs = os.listdir(runs_dir)
+        assert len(runs) == 1
+        manifest = json.load(open(os.path.join(runs_dir, runs[0], "manifest.json")))
+        assert manifest["kind"] == "experiment"
+        assert manifest["status"] == "ok"
+        assert manifest["exit_code"] == 0
+        assert manifest["config"]["profile"] == "test"
+        assert "run ledger:" in capsys.readouterr().err
+        # The parent's events landed in the run directory.
+        assert os.path.exists(os.path.join(runs_dir, runs[0], "events.jsonl"))
+
+    def test_no_ledger_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        runs_dir = str(tmp_path / "ledger")
+        assert main(["--runs-dir", runs_dir, "--no-ledger", "experiment",
+                     "table1", "--profile", "test"]) == 0
+        assert not os.path.exists(runs_dir)
+
+    def test_runs_list_and_show(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "ledger")
+        ledger = RunLedger.create(runs_dir, kind="experiment", argv=["x"])
+        ledger.finalize(None, exit_code=0, status="ok")
+        assert main(["--runs-dir", runs_dir, "runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert ledger.run_id in out
+        assert "experiment" in out
+        assert main(["--runs-dir", runs_dir, "runs", "show", ledger.run_id[:6]]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["run_id"] == ledger.run_id
+
+    def test_runs_show_unknown_id(self, tmp_path, capsys):
+        assert main(["--runs-dir", str(tmp_path), "runs", "show", "nope"]) == 2
+        assert "no run matching" in capsys.readouterr().err
+
+    def test_runs_show_requires_id(self, tmp_path, capsys):
+        assert main(["--runs-dir", str(tmp_path), "runs", "list"]) == 0
+        assert main(["--runs-dir", str(tmp_path), "runs", "show"]) == 2
+
+    def test_sweep_manifest_records_run_id(self, tmp_path, monkeypatch):
+        from repro.resilience import SweepManifest
+
+        cache = str(tmp_path / "memo")
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache)
+        runs_dir = str(tmp_path / "ledger")
+        assert main(["--runs-dir", runs_dir, "experiment", "table1",
+                     "--profile", "test"]) == 0
+        run_id = os.listdir(runs_dir)[0]
+        manifest = SweepManifest.load(cache, "test")
+        assert manifest is not None
+        assert run_id in manifest.run_ids

@@ -120,7 +120,7 @@ class TestDisabledMode:
         instr.gauge("depth", 3)
         instr.add_counters({"a": 1})
         snapshot = instr.counters.snapshot()
-        assert snapshot == {"counters": {}, "gauges": {}}
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
 
     def test_flush_emits_nothing(self):
         sink = MemorySink()

@@ -275,3 +275,148 @@ class TestRunAllJobs:
         monkeypatch.setattr(run_all_module, "DRIVERS", {"fig3": fig3.run})
         reports = run_all_module.run_all(profile="test", jobs=1)
         assert [r.experiment for r in reports] == ["fig3"]
+
+
+class TestParallelTelemetry:
+    """Worker telemetry folds into the parent deterministically."""
+
+    #: Group-disjoint cells (one technique per matrix): jobs=1 and the
+    #: pool execute the exact same span sequence per cell, because no
+    #: graph load or permutation is shared across groups either way.
+    DISJOINT_CELLS = [
+        ("test-mesh", "degsort"),
+        ("test-comm", "original"),
+    ]
+
+    def run_cells(self, cache_dir, jobs):
+        cells = [run_cell(m, t) for m, t in self.DISJOINT_CELLS]
+        instr = Instrumentation(enabled=True)
+        with using(instr):
+            stats = execute_cells(
+                cells,
+                RunnerConfig("test", cache_dir),
+                jobs=jobs,
+                worker_clock=FakeClock(tick=1.0),
+            )
+        assert stats.executed == len(cells)
+        return instr
+
+    def test_merged_histograms_equal_single_process_run(self, tmp_path):
+        """Acceptance: bucket-exact histogram merge across workers.
+
+        Under a deterministic tick clock every span's duration is a
+        pure function of the work inside it, so the histograms the
+        parent assembles from two workers must equal the ones a single
+        process builds from the same cells — bucket arrays included.
+        """
+        seq = self.run_cells(str(tmp_path / "seq"), jobs=1)
+        par = self.run_cells(str(tmp_path / "par"), jobs=2)
+        seq_hists = {n: h.to_json() for n, h in seq.counters.histograms().items()}
+        par_hists = {n: h.to_json() for n, h in par.counters.histograms().items()}
+        assert seq_hists.keys() == par_hists.keys()
+        for name in seq_hists:
+            assert seq_hists[name] == par_hists[name], name
+        assert seq_hists["cell"]["count"] == len(self.DISJOINT_CELLS)
+        assert seq_hists["cell.attempts"]["count"] == len(self.DISJOINT_CELLS)
+
+    def test_gauge_merge_is_deterministic_max_wins(self, tmp_path):
+        """jobs=2 gauge folding must not depend on completion order."""
+        cells = [
+            run_cell("test-mesh", "degsort"),
+            run_cell("test-mesh", "degsort", policy="belady"),
+            run_cell("test-comm", "original"),
+        ]
+        values = []
+        for attempt in range(2):
+            instr = Instrumentation(enabled=True)
+            with using(instr):
+                execute_cells(
+                    cells,
+                    RunnerConfig("test", str(tmp_path / f"memo{attempt}")),
+                    jobs=2,
+                    worker_clock=FakeClock(),
+                )
+            values.append(instr.counters.gauge("parallel.group_cells"))
+        # Groups have sizes 2 and 1; max-wins merge always reports 2,
+        # whichever worker's snapshot lands last.
+        assert values == [2.0, 2.0]
+
+    def test_worker_snapshot_merge_matches_registry_merge(self, tmp_path):
+        """The parent-side fold is CounterRegistry merge semantics."""
+        instr = Instrumentation(enabled=True)
+        instr.merge_counter_snapshot(
+            {
+                "counters": {"x": 2},
+                "gauges": {"g": 5.0},
+                "histograms": {"h": {"count": 1, "sum": 1.0, "min": 1.0,
+                                     "max": 1.0, "zero": 0, "buckets": {"0": 1}}},
+            }
+        )
+        instr.merge_counter_snapshot(
+            {"counters": {"x": 3}, "gauges": {"g": 4.0}, "histograms": {}}
+        )
+        assert instr.counters.get("x") == 5
+        assert instr.counters.gauge("g") == 5.0
+        assert instr.counters.histogram("h").count == 1
+
+
+class TestTraceStitching:
+    def test_jobs2_experiment_yields_one_stitched_trace(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Acceptance: `repro experiment fig2 --jobs 2` produces a
+        single logical trace — worker cell spans parent under the
+        parent experiment span — and the Chrome export validates."""
+        import json as _json
+
+        from repro.cli import main
+        from repro.obs.tracefile import build_span_tree, read_events
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
+        runs_dir = str(tmp_path / "ledger")
+        assert main([
+            "--quiet", "--runs-dir", runs_dir,
+            "experiment", "fig2", "--profile", "test", "--jobs", "2",
+        ]) == 0
+        run_id = os.listdir(runs_dir)[0]
+        run_dir = os.path.join(runs_dir, run_id)
+        # The parent wrote events.jsonl; each pool worker wrote its own
+        # events-w<pid>.jsonl into the same run directory.
+        event_files = sorted(
+            name for name in os.listdir(run_dir) if name.endswith(".jsonl")
+        )
+        assert "events.jsonl" in event_files
+        worker_files = [n for n in event_files if n.startswith("events-w")]
+        assert worker_files, "no worker event files were written"
+
+        result = read_events(run_dir)
+        assert result.total_bad_lines == 0
+        spans = result.spans()
+        assert all(e.get("run_id") == run_id for e in spans)
+        roots, orphans = build_span_tree(spans)
+        assert orphans == 0
+        assert [r.name for r in roots] == ["experiment"]
+        experiment = roots[0]
+        cell_children = [c for c in experiment.children if c.name == "cell"]
+        assert cell_children, "worker cell spans did not stitch under experiment"
+        worker_pids = {c.pid for c in cell_children}
+        assert experiment.pid not in worker_pids
+        # Every cell span descends a full pipeline (load/reorder/...).
+        assert all(c.children for c in cell_children)
+
+        # And the CLI renders + exports it.
+        chrome_path = str(tmp_path / "chrome.json")
+        capsys.readouterr()
+        assert main([
+            "--runs-dir", runs_dir, "trace", run_id, "--chrome", chrome_path
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out and "cell" in out
+        doc = _json.load(open(chrome_path))
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(spans)
+        assert all(
+            set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+            for e in complete
+        )
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)

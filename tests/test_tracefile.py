@@ -1,0 +1,223 @@
+"""Trace reading (tolerant of damage), span stitching, Chrome export,
+and JsonlSink behavior under concurrent writers."""
+
+import json
+import os
+import threading
+
+from repro.obs import Instrumentation, FakeClock, JsonlSink, new_span_id
+from repro.obs.tracefile import (
+    build_span_tree,
+    read_events,
+    render_span_tree,
+    to_chrome_trace,
+)
+
+
+def span_event(name, span_id, parent_id=None, ts=1.0, seconds=0.5, pid=100, **tags):
+    return {
+        "kind": "span",
+        "v": 2,
+        "run_id": "r1",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "pid": pid,
+        "tid": pid,
+        "ts": ts,
+        "name": name,
+        "path": name,
+        "seconds": seconds,
+        "status": "ok",
+        "error": None,
+        "tags": tags,
+    }
+
+
+def write_jsonl(path, lines):
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+class TestTolerantReader:
+    def test_reads_all_event_files_in_run_dir(self, tmp_path):
+        a = span_event("root", "aaaa")
+        b = span_event("child", "bbbb", parent_id="aaaa", pid=200)
+        write_jsonl(tmp_path / "events.jsonl", [json.dumps(a)])
+        write_jsonl(tmp_path / "events-w200.jsonl", [json.dumps(b)])
+        result = read_events(str(tmp_path))
+        assert len(result.files) == 2
+        assert len(result.spans()) == 2
+        assert result.total_bad_lines == 0
+
+    def test_skips_and_counts_damaged_lines(self, tmp_path):
+        good = json.dumps(span_event("ok", "cccc"))
+        truncated = good[: len(good) // 2]  # crashed writer mid-line
+        write_jsonl(
+            tmp_path / "events.jsonl",
+            [
+                good,
+                truncated,
+                "{not json at all",
+                '"a bare string, not an event"',
+                '{"no_kind_key": 1}',
+                "",  # blank lines are not damage
+                good,
+            ],
+        )
+        result = read_events(str(tmp_path))
+        assert len(result.events) == 2
+        assert result.total_bad_lines == 4
+
+    def test_missing_dir_yields_empty_result(self, tmp_path):
+        result = read_events(str(tmp_path / "nope"))
+        assert result.events == []
+        assert result.total_bad_lines == 0
+
+    def test_trace_cli_reports_damage_without_crashing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_dir = tmp_path / "runs" / "damaged00run"
+        os.makedirs(run_dir)
+        good = json.dumps(span_event("work", "dddd"))
+        write_jsonl(run_dir / "events.jsonl", [good, good[:20], "garbage"])
+        code = main(["--runs-dir", str(tmp_path / "runs"), "trace", "damaged00run"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "work" in captured.out
+        assert "skipped 2 malformed line(s)" in captured.err
+
+
+class TestSpanTree:
+    def test_stitches_children_under_parents_across_pids(self):
+        root = span_event("experiment", "r" * 4, ts=10.0, seconds=9.0, pid=1)
+        cell_a = span_event(
+            "cell", "a" * 4, parent_id="r" * 4, ts=3.0, seconds=2.0, pid=2
+        )
+        cell_b = span_event(
+            "cell", "b" * 4, parent_id="r" * 4, ts=6.0, seconds=2.0, pid=3
+        )
+        inner = span_event(
+            "load", "c" * 4, parent_id="a" * 4, ts=2.0, seconds=0.5, pid=2
+        )
+        roots, orphans = build_span_tree([inner, cell_b, root, cell_a])
+        assert orphans == 0
+        assert len(roots) == 1
+        assert roots[0].name == "experiment"
+        # Children sorted by start time: cell_a (start 1.0) before
+        # cell_b (start 4.0).
+        assert [c.name for c in roots[0].children] == ["cell", "cell"]
+        assert roots[0].children[0].event["span_id"] == "a" * 4
+        assert [g.name for g in roots[0].children[0].children] == ["load"]
+
+    def test_orphaned_spans_promoted_to_roots_and_counted(self):
+        orphan = span_event("cell", "oooo", parent_id="never-flushed")
+        roots, orphans = build_span_tree([orphan])
+        assert orphans == 1
+        assert [r.name for r in roots] == ["cell"]
+
+    def test_pre_v2_events_without_span_id_become_roots(self):
+        legacy = {"kind": "span", "name": "old", "ts": 1.0, "seconds": 0.1}
+        roots, orphans = build_span_tree([legacy])
+        assert orphans == 0
+        assert [r.name for r in roots] == ["old"]
+
+    def test_render_includes_tags_status_and_pid(self):
+        ok = span_event("fine", "f" * 4, matrix="m1")
+        bad = dict(span_event("broken", "g" * 4), status="error")
+        text = render_span_tree(build_span_tree([ok, bad])[0])
+        assert "fine [matrix=m1]" in text
+        assert "ERROR" in text
+        assert "pid=100" in text
+
+    def test_render_empty(self):
+        assert render_span_tree([]) == "(no spans)"
+
+
+class TestChromeExport:
+    def test_complete_events_with_rebased_microseconds(self):
+        spans = [
+            span_event("experiment", "aaaa", ts=10.0, seconds=9.0, pid=1),
+            span_event("cell", "bbbb", parent_id="aaaa", ts=3.0, seconds=2.0, pid=2),
+        ]
+        doc = to_chrome_trace(spans)
+        assert doc["displayTimeUnit"] == "ms"
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(x_events) == 2
+        # Earliest start (t=1.0s) rebases to ts=0; experiment starts at
+        # t=1.0 -> 0us, cell at t=1.0 -> 0us too.  Durations in us.
+        by_name = {e["name"]: e for e in x_events}
+        assert by_name["experiment"]["dur"] == 9.0 * 1e6
+        assert by_name["cell"]["ts"] == 0.0
+        assert min(e["ts"] for e in x_events) == 0.0
+        assert {e["pid"] for e in meta} == {1, 2}
+
+    def test_round_trips_through_json(self):
+        spans = [span_event("s", "hhhh", error=None)]
+        doc = json.loads(json.dumps(to_chrome_trace(spans)))
+        assert doc["traceEvents"][0]["args"]["status"] == "ok"
+
+    def test_empty_span_list(self):
+        assert to_chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+class TestJsonlSinkConcurrency:
+    def test_concurrent_writers_produce_only_whole_lines(self, tmp_path):
+        """N threads hammering one sink must never interleave lines."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path=str(path))
+        n_threads, per_thread = 8, 200
+
+        def hammer(worker):
+            for i in range(per_thread):
+                sink.emit(
+                    {"kind": "span", "worker": worker, "i": i, "pad": "x" * 64}
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == n_threads * per_thread
+        seen = set()
+        for line in lines:
+            event = json.loads(line)  # raises if any line was torn
+            assert event["kind"] == "span"
+            seen.add((event["worker"], event["i"]))
+        assert len(seen) == n_threads * per_thread
+
+    def test_concurrent_spans_through_instrumentation(self, tmp_path):
+        """Span exits on many threads all land as parseable events."""
+        path = tmp_path / "events.jsonl"
+        instr = Instrumentation(
+            sink=JsonlSink(path=str(path)), clock=FakeClock(tick=0.0)
+        )
+
+        def work():
+            for _ in range(50):
+                with instr.span("stage"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        instr.close()
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(events) == 200
+        assert {e["name"] for e in events} == {"stage"}
+        # Every event has a unique span id even under contention.
+        assert len({e["span_id"] for e in events}) == 200
+
+
+def test_new_span_id_shape_and_uniqueness():
+    ids = {new_span_id() for _ in range(100)}
+    assert len(ids) == 100
+    assert all(len(i) == 16 for i in ids)
