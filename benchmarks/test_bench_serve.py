@@ -1,0 +1,81 @@
+"""Benchmark-harness entry for the serve tier (BENCH_serve.json).
+
+Spawns a private ``repro serve`` on a free port with a fresh store,
+replays a zipf-skewed trace against it through the real CLI/bench
+path (subprocess + sockets, exactly what CI's serve-smoke job runs),
+and asserts the serving story holds:
+
+* the run completes with zero transport errors,
+* repeat traffic hits the content-addressed store (hit rate > 0 —
+  guaranteed by replaying more requests than there are matrices),
+* the hit path is at least 10x faster than the miss path at p50
+  (the permutation + simulation pipeline amortized away),
+* ``BENCH_serve.json`` is written with the latency/hit-rate schema
+  EXPERIMENTS.md documents (override the location with
+  ``REPRO_BENCH_SERVE_OUT``).
+
+The smoke run uses the ``test`` corpus profile so it takes seconds;
+point ``--profile bench`` at a long-lived server for the full-scale
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.serve.bench import run_bench
+
+OUT_ENV_VAR = "REPRO_BENCH_SERVE_OUT"
+
+#: Acceptance floor: a store hit must be at least this much faster than
+#: the full reorder+simulate miss path at p50.
+MIN_HIT_SPEEDUP = 10.0
+
+
+def test_bench_serve_smoke(tmp_path):
+    payload = run_bench(
+        profile="test",
+        n_requests=36,
+        concurrency=4,
+        skew=1.1,
+        seed=0,
+        technique="rabbit++",
+        store_dir=str(tmp_path / "store"),
+    )
+    assert payload["schema"] == 1
+    assert payload["requests"]["errors"] == {}
+    total = payload["requests"]["total"]
+    assert total == 36
+    # 6 test matrices, 36 requests: at least 30 repeats must have hit
+    # (or coalesced into) previously computed entries.
+    assert payload["store_hit_rate"] > 0.0
+    hits = payload["client"]["hit"]["count"]
+    coalesced = payload["client"]["coalesced"]["count"]
+    misses = payload["client"]["miss"]["count"]
+    assert hits + coalesced + misses == total
+    assert misses <= 6  # one true compute per distinct matrix
+    assert payload["client"]["overall"]["p50"] is not None
+    assert payload["client"]["overall"]["p99"] is not None
+    # Client-side speedup includes socket overhead on the hit path, so
+    # the 10x acceptance floor is asserted on the server-side split;
+    # the client-side number still has to show a clear win.
+    client_speedup = payload["hit_speedup_p50"]
+    assert client_speedup is not None and client_speedup > 2.0
+    speedup = payload["hit_speedup_p50_server"]
+    assert speedup is not None and speedup >= MIN_HIT_SPEEDUP, (
+        f"store hit path only {speedup}x faster than miss path"
+    )
+    # The server-side view made it into the payload.
+    server = payload["server"]
+    assert server["service"]["store"]["perm"]["entries"] >= 1
+    assert server["counters"]["serve.request.miss"] >= 1
+
+    out_path = os.environ.get(OUT_ENV_VAR, "BENCH_serve.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    print(
+        f"\nserve bench: {total} requests, hit rate "
+        f"{payload['store_hit_rate']:.1%}, hit p50 speedup {speedup:.1f}x "
+        f"-> {out_path}"
+    )

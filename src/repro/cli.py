@@ -17,6 +17,8 @@ Examples::
     repro runs list
     repro trace <run_id> --chrome /tmp/trace.json
     repro bench --check --strict
+    repro serve --profile bench --port 8787 --deadline 30
+    repro serve-bench --requests 60 --concurrency 4 --json BENCH_serve.json
     repro version
 
 Observability flags (global, before the subcommand)::
@@ -63,7 +65,14 @@ from repro.obs import (
     format_span_totals,
     get_obs,
 )
-from repro.obs.ledger import RunLedger, find_run_dir, list_runs, load_manifest, resolve_runs_dir
+from repro.obs.ledger import (
+    RunLedger,
+    effective_status,
+    find_run_dir,
+    list_runs,
+    load_manifest,
+    resolve_runs_dir,
+)
 from repro.reorder.benchreorder import BENCH_TECHNIQUES
 from repro.reorder.dispatch import IMPLS
 from repro.reorder.registry import available_techniques
@@ -78,7 +87,13 @@ _CACHE_KINDS = ("reorder-time", "metrics", "run")
 #: Subcommands that write a run ledger (manifest + event files) under
 #: ``runs/<run_id>/`` unless ``--no-ledger``; the value is the manifest
 #: ``kind`` field.
-_LEDGER_COMMANDS = {"experiment": "experiment", "run-all": "run-all", "bench": "bench-check"}
+_LEDGER_COMMANDS = {
+    "experiment": "experiment",
+    "run-all": "run-all",
+    "bench": "bench-check",
+    "serve": "serve",
+    "serve-bench": "serve-bench",
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -401,6 +416,110 @@ def _build_parser() -> argparse.ArgumentParser:
         help="copy the fresh payloads into the baseline dir (re-baseline)",
     )
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the reordering-as-a-service HTTP endpoint",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port to bind (0 picks a free port; default: 8787)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port number to PATH once listening "
+        "(lets callers use --port 0 without a port race)",
+    )
+    serve.add_argument("--profile", default="bench", choices=PROFILES)
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="permutation store root (default: $REPRO_SERVE_STORE or "
+        "<cache>/serve-store)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request wall-clock budget (requests may "
+        "override with deadline_seconds; over budget returns 504)",
+    )
+    serve.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        metavar="N",
+        help="default amortization horizon for technique=auto "
+        "(default: 100 kernel iterations)",
+    )
+    _add_reorder_impl_flag(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="load-test a serve endpoint with a zipf-skewed trace",
+    )
+    serve_bench.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="serve endpoint to target (default: spawn a private "
+        "`repro serve --port 0` for the duration of the bench)",
+    )
+    serve_bench.add_argument("--profile", default="test", choices=PROFILES)
+    serve_bench.add_argument(
+        "--requests", type=int, default=60, metavar="N", help="trace length"
+    )
+    serve_bench.add_argument(
+        "--concurrency", type=int, default=4, metavar="N", help="client threads"
+    )
+    serve_bench.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="zipf exponent for matrix popularity (0 = uniform)",
+    )
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument(
+        "--technique", default="rabbit++", choices=available_techniques() + ["auto"]
+    )
+    serve_bench.add_argument("--kernel", default="spmv-csr")
+    serve_bench.add_argument("--policy", default="lru", choices=["lru", "belady"])
+    serve_bench.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="store root for a spawned server (fresh temp dir by default "
+        "keeps the first touches honest misses)",
+    )
+    serve_bench.add_argument(
+        "--json",
+        default="BENCH_serve.json",
+        metavar="PATH",
+        help="write the bench payload to PATH (default: BENCH_serve.json)",
+    )
+    serve_bench.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit 1 unless the store hit rate reaches FRACTION (CI gate)",
+    )
+    serve_bench.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-request client timeout",
+    )
+    serve_bench.set_defaults(handler=_cmd_serve_bench)
 
     version = subparsers.add_parser("version", help="print the package version")
     version.set_defaults(handler=_cmd_version)
@@ -959,7 +1078,9 @@ def _cmd_runs(args: argparse.Namespace) -> int:
                 [
                     manifest.get("run_id", "?"),
                     manifest.get("kind", "?"),
-                    manifest.get("status", "?"),
+                    # Stale-aware: a crashed run's stub says "running"
+                    # forever; render it as "stale" once its pid is gone.
+                    effective_status(manifest),
                     manifest.get("started_at_iso", "-"),
                     "-" if duration is None else f"{float(duration):.1f}s",
                     "-"
@@ -980,6 +1101,8 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    manifest = dict(manifest)
+    manifest["effective_status"] = effective_status(manifest)
     print(json.dumps(manifest, indent=1, sort_keys=True, default=str))
     return 0
 
@@ -1052,6 +1175,124 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     print("bench gate: FAIL (perf regression or correctness mismatch)", file=sys.stderr)
     return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — the reordering-as-a-service HTTP endpoint."""
+    import signal
+
+    from repro.serve.httpd import make_server
+    from repro.serve.service import ReorderService, ServeConfig
+
+    config = ServeConfig(
+        profile=args.profile,
+        store_dir=args.store_dir,
+        reorder_impl=args.reorder_impl,
+        default_deadline_seconds=args.deadline,
+        default_iterations=args.iterations,
+    )
+    service = ReorderService(config)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    if args.port_file:
+        # Write-then-rename so pollers never read a partial number.
+        tmp = f"{args.port_file}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(str(port))
+        os.replace(tmp, args.port_file)
+    ledger = getattr(args, "_ledger", None)
+    if ledger is not None:
+        ledger.record(
+            "serve",
+            {
+                "host": host,
+                "port": port,
+                "profile": args.profile,
+                "store": service.store.root,
+            },
+        )
+    if not args.quiet:
+        print(
+            f"repro serve: listening on http://{host}:{port} "
+            f"(profile={args.profile}, store={service.store.root})",
+            file=sys.stderr,
+        )
+
+    def _graceful(signum, frame):  # SIGTERM behaves like Ctrl-C: clean exit
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _graceful)
+    try:
+        with get_obs().span("serve-session", profile=args.profile):
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+    if ledger is not None:
+        ledger.record("serve_stats", service.stats())
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """``repro serve-bench`` — replay a zipf trace, write BENCH_serve.json."""
+    from repro.serve.bench import run_bench
+
+    payload = run_bench(
+        base_url=args.url,
+        profile=args.profile,
+        n_requests=args.requests,
+        concurrency=args.concurrency,
+        skew=args.skew,
+        seed=args.seed,
+        technique=args.technique,
+        kernel=args.kernel,
+        policy=args.policy,
+        store_dir=args.store_dir,
+        timeout=args.timeout,
+    )
+    client = payload["client"]
+
+    def _fmt(value) -> str:
+        return "-" if value is None else f"{float(value) * 1e3:.2f}ms"
+
+    rows = [
+        [
+            name,
+            client[name]["count"],
+            _fmt(client[name]["p50"]),
+            _fmt(client[name]["p99"]),
+        ]
+        for name in ("overall", "hit", "miss", "coalesced")
+    ]
+    print(render_table(["class", "requests", "p50", "p99"], rows))
+    hit_rate = payload["store_hit_rate"]
+    speedup = payload["hit_speedup_p50"]
+    print(f"store hit rate: {hit_rate:.1%}")
+    if speedup is not None:
+        print(f"hit-path p50 speedup over miss path: {speedup:.1f}x")
+    server_speedup = payload["hit_speedup_p50_server"]
+    if server_speedup is not None:
+        print(f"server-side hit-path p50 speedup: {server_speedup:.1f}x")
+    errors = payload["requests"]["errors"]
+    if errors:
+        print(f"errors by status: {errors}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    ledger = getattr(args, "_ledger", None)
+    if ledger is not None:
+        ledger.record("serve_bench", payload)
+    if args.min_hit_rate is not None and hit_rate < args.min_hit_rate:
+        print(
+            f"serve-bench gate: FAIL (hit rate {hit_rate:.1%} < "
+            f"{args.min_hit_rate:.1%})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_version(args: argparse.Namespace) -> int:

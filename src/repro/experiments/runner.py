@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
 import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -46,7 +45,11 @@ from repro.metrics.insularity import insular_mask, insular_node_fraction, insula
 from repro.metrics.skew import degree_skew
 from repro.obs import get_obs, logger
 from repro.resilience.faults import fault_point
-from repro.resilience.integrity import load_or_quarantine, wrap_payload
+from repro.resilience.integrity import (
+    atomic_write_document,
+    load_or_quarantine,
+    wrap_payload,
+)
 from repro.reorder.base import TimedReordering, reorder_with_timing
 from repro.reorder.rabbit import RabbitOrder
 from repro.reorder.registry import make_technique
@@ -369,26 +372,17 @@ class ExperimentRunner:
 
         Reads verify the envelope (:meth:`_load_payload`); damaged or
         legacy files are quarantined and recomputed instead of crashing
-        the sweep — see :mod:`repro.resilience.integrity`.
+        the sweep — see :mod:`repro.resilience.integrity`.  The write
+        itself goes through :func:`atomic_write_document`, whose
+        per-write unique temp names keep concurrent same-key writers
+        (two serve threads completing the same computation) from
+        tearing each other's files.
         """
         if not self.use_cache:
             return
         document = wrap_payload(payload)
         with get_obs().span("memo-store"):
-            os.makedirs(self.cache_dir, exist_ok=True)
-            tmp = f"{path}.tmp.{os.getpid()}"
-            try:
-                with open(tmp, "w", encoding="utf-8") as handle:
-                    json.dump(document, handle, indent=1, sort_keys=True)
-                os.replace(tmp, path)
-            except BaseException:
-                # json.dump (or the rename) failed mid-write: don't
-                # leave a stray .tmp file behind in the cache dir.
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_write_document(path, document)
         fault_point("memo.write", path=path)
 
     def _load_payload(

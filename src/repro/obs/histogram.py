@@ -103,6 +103,21 @@ class Histogram:
         # Unreachable if counts are consistent, but never crash a report.
         return self.max if self.max is not None else 0.0  # pragma: no cover
 
+    def percentile_or(
+        self, q: float, default: Optional[float] = None
+    ) -> Optional[float]:
+        """:meth:`percentile`, but ``default`` on an empty histogram.
+
+        The guard every *reporting* path must use: a ledger manifest or
+        ``repro profile`` table for a run whose spans never fired (an
+        idle serve session, a fully-cached sweep) has to report
+        zeros/``null``, not crash with the :class:`ValueError` that
+        :meth:`percentile` raises on an empty histogram.
+        """
+        if self.count == 0:
+            return default
+        return self.percentile(q)
+
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
@@ -155,18 +170,20 @@ class Histogram:
         return hist
 
     def summary(self) -> Dict[str, object]:
-        """Compact p50/p90/p99 digest for manifests and reports."""
-        if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": None, "max": None,
-                    "p50": None, "p90": None, "p99": None}
+        """Compact p50/p90/p99 digest for manifests and reports.
+
+        Empty histograms summarize to zero counts and ``null``
+        percentiles (via :meth:`percentile_or`) so a run whose spans
+        never fired still produces a valid manifest.
+        """
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
-            "p50": self.percentile(0.50),
-            "p90": self.percentile(0.90),
-            "p99": self.percentile(0.99),
+            "p50": self.percentile_or(0.50),
+            "p90": self.percentile_or(0.90),
+            "p99": self.percentile_or(0.99),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

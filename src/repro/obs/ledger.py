@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 import uuid
 from typing import Dict, List, Optional
@@ -34,6 +35,10 @@ MANIFEST_SCHEMA = 1
 MANIFEST_NAME = "manifest.json"
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
 DEFAULT_RUNS_DIR = "runs"
+
+#: A ``running`` stub older than this (and whose liveness cannot be
+#: probed, e.g. written on another host) is rendered as ``stale``.
+STALE_AFTER_SECONDS = 6 * 3600.0
 
 
 def resolve_runs_dir(runs_dir: Optional[str] = None) -> str:
@@ -47,8 +52,13 @@ def resolve_runs_dir(runs_dir: Optional[str] = None) -> str:
 
 
 def _atomic_write_json(path: str, document: Dict[str, object]) -> None:
+    # Unique temp names (pid + tid + sequence) keep concurrent writers
+    # of one manifest from tearing each other's temp file — see
+    # repro.resilience.integrity.unique_tmp_path.
+    from repro.resilience.integrity import unique_tmp_path
+
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    tmp = f"{path}.tmp.{os.getpid()}"
+    tmp = unique_tmp_path(path)
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=1, sort_keys=True, default=str)
@@ -107,6 +117,11 @@ class RunLedger:
             "started_at_iso": time.strftime(
                 "%Y-%m-%dT%H:%M:%SZ", time.gmtime(ledger._started)
             ),
+            # Liveness identity for the `running` stub: lets `repro
+            # runs list` tell a live run from one that crashed before
+            # finalize (dead pid -> rendered as `stale`).
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
         }
         _atomic_write_json(
             ledger.manifest_path, {**ledger._base, "status": "running"}
@@ -157,6 +172,46 @@ class RunLedger:
 
 
 # -- querying -----------------------------------------------------------
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a pid on this host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return True  # can't tell; err on the side of "alive"
+    return True
+
+
+def effective_status(
+    manifest: Dict[str, object], now: Optional[float] = None
+) -> str:
+    """The manifest's status with crashed ``running`` stubs downgraded.
+
+    The stub written at launch says ``running``; a run that crashed (or
+    was SIGKILLed) never rewrites it, so without this check ``repro
+    runs list`` shows the run as running forever.  A ``running``
+    manifest is downgraded to ``stale`` when its recorded pid is dead
+    on this host, or — for stubs written elsewhere or predating the
+    pid field — when it is older than :data:`STALE_AFTER_SECONDS`.
+    """
+    status = str(manifest.get("status", "?"))
+    if status != "running":
+        return status
+    pid = manifest.get("pid")
+    host = manifest.get("host")
+    if isinstance(pid, int) and (host is None or host == socket.gethostname()):
+        return "running" if _pid_alive(pid) else "stale"
+    started = manifest.get("started_at")
+    try:
+        age = (now if now is not None else time.time()) - float(started)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "stale"  # a running stub with no start time is damage
+    return "stale" if age > STALE_AFTER_SECONDS else "running"
 
 
 def load_manifest(runs_dir: str, run_id: str) -> Optional[Dict[str, object]]:

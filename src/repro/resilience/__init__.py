@@ -47,11 +47,19 @@ from repro.resilience.integrity import (
     unwrap_document,
     wrap_payload,
 )
-from repro.resilience.policy import RetryPolicy, cell_deadline, is_transient
+from repro.resilience.policy import (
+    Deadline,
+    RetryPolicy,
+    cell_deadline,
+    check_deadline,
+    current_deadline,
+    is_transient,
+)
 
 __all__ = [
     "CacheScan",
     "CellFailure",
+    "Deadline",
     "ENV_VAR",
     "FailureReport",
     "FaultInjector",
@@ -64,6 +72,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "SweepManifest",
     "cell_deadline",
+    "check_deadline",
+    "current_deadline",
     "fault_point",
     "install_injector",
     "is_transient",

@@ -23,8 +23,10 @@ a cache directory classifying every memo file without touching it.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -165,10 +167,34 @@ def load_or_quarantine(
         return None
 
 
+#: Monotonic sequence making temp names unique *within* a process; the
+#: pid/tid components make them unique across processes and threads.
+_TMP_SEQ = itertools.count()
+
+
+def unique_tmp_path(path: str) -> str:
+    """A temp name no concurrent writer of ``path`` can collide with.
+
+    A pid-only suffix is not enough: two threads of one process writing
+    the same memo key (serve workers completing the same computation)
+    would share the temp file and interleave, leaving a torn JSON
+    document that gets quarantined on the next read.  The pid + thread
+    id + per-process sequence triple is collision-free.
+    """
+    return (
+        f"{path}.tmp.{os.getpid()}.{threading.get_ident()}.{next(_TMP_SEQ)}"
+    )
+
+
 def atomic_write_document(path: str, document: Dict[str, object]) -> None:
-    """Write a JSON document atomically (tmp file + ``os.replace``)."""
+    """Write a JSON document atomically (unique tmp + ``os.replace``).
+
+    Safe under concurrent same-key writers: every writer renames its
+    own private temp file over ``path``, so readers only ever see a
+    complete document (last writer wins).
+    """
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    tmp = f"{path}.tmp.{os.getpid()}"
+    tmp = unique_tmp_path(path)
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=1, sort_keys=True)

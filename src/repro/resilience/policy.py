@@ -1,15 +1,24 @@
 """Retry and timeout policy for pipeline cells.
 
-Two small, composable pieces:
+Three small, composable pieces:
 
 * :class:`RetryPolicy` — how many attempts a cell gets and how long to
   back off between them (exponential with a cap).  Pure arithmetic: the
   executor owns the actual ``sleep`` so tests can inject a recording
   fake and assert exact delays without waiting.
+* :class:`Deadline` — a monotonic-clock wall-time budget with a
+  cooperative :meth:`~Deadline.check` API, usable from any thread.
 * :func:`cell_deadline` — a context manager enforcing a per-cell
-  wall-clock budget via ``SIGALRM``/``setitimer``.  On platforms or
-  threads where POSIX interval timers are unavailable the deadline
-  degrades to a no-op rather than failing the sweep.
+  wall-clock budget.  On the main thread enforcement is preemptive via
+  ``SIGALRM``/``setitimer`` (a sleeping cell is interrupted mid-block).
+  Off the main thread — serve worker threads, thread pools — POSIX
+  interval timers are unavailable, so enforcement degrades to
+  *cooperative*: the yielded :class:`Deadline` raises from
+  :meth:`~Deadline.check` calls sprinkled through the work (see
+  :func:`check_deadline`), and the context manager performs a final
+  check on normal exit so an over-budget block always raises.  The
+  ``resilience.deadline_degraded`` counter ticks once per cooperative
+  deadline so the loss of preemption is observable.
 
 Classification lives here too: :func:`is_transient` decides whether an
 exception is worth retrying (:class:`~repro.errors.TransientError` and
@@ -22,6 +31,7 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -29,6 +39,7 @@ from typing import Iterator, Optional
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.errors import CellTimeoutError, TransientError, ValidationError
+from repro.obs import get_obs
 
 #: Exception types the resilience layer considers retryable.
 TRANSIENT_TYPES = (TransientError, BrokenProcessPool, ConnectionError)
@@ -82,24 +93,105 @@ class RetryPolicy:
         return min(raw, self.max_backoff_seconds)
 
 
+class Deadline:
+    """A wall-clock budget anchored to the monotonic clock.
+
+    Usable from any thread: :meth:`check` raises
+    :class:`~repro.errors.CellTimeoutError` once the budget is spent,
+    :meth:`remaining` feeds bounded waits (lock/event timeouts), and
+    :attr:`preemptive` records whether a ``SIGALRM`` timer also guards
+    the block (main thread only) or enforcement is purely cooperative.
+    """
+
+    __slots__ = ("seconds", "label", "preemptive", "_expires_at")
+
+    def __init__(self, seconds: float, label: str, preemptive: bool = False) -> None:
+        self.seconds = float(seconds)
+        self.label = label
+        self.preemptive = preemptive
+        self._expires_at = time.monotonic() + self.seconds
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once over budget)."""
+        return self._expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`CellTimeoutError` if the budget is spent."""
+        if self.expired():
+            raise CellTimeoutError(
+                f"cell {self.label} exceeded its {self.seconds:g}s "
+                "wall-clock timeout"
+            )
+
+
+_deadline_local = threading.local()
+
+
+def _deadline_stack() -> "list[Deadline]":
+    stack = getattr(_deadline_local, "stack", None)
+    if stack is None:
+        stack = _deadline_local.stack = []
+    return stack
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost active :class:`Deadline` on this thread, if any."""
+    stack = _deadline_stack()
+    return stack[-1] if stack else None
+
+
+def check_deadline() -> None:
+    """Cooperative checkpoint: raise if this thread's deadline expired.
+
+    A no-op when no deadline is active, so pipeline stages can call it
+    unconditionally.  This is what gives non-main-thread callers (serve
+    worker threads) real enforcement between stages.
+    """
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check()
+
+
 @contextmanager
-def cell_deadline(seconds: Optional[float], label: str) -> Iterator[None]:
+def cell_deadline(seconds: Optional[float], label: str) -> Iterator[Optional[Deadline]]:
     """Raise :class:`CellTimeoutError` if the block outlives ``seconds``.
 
-    Enforcement uses ``signal.setitimer(ITIMER_REAL)``, which only
-    works in the main thread of a process — exactly where cells run,
-    both in-process (``jobs=1``) and in spawned pool workers.  When
-    ``seconds`` is falsy, or interval timers are unavailable (Windows,
-    non-main threads), the block runs without a deadline.
+    On the main thread enforcement is preemptive:
+    ``signal.setitimer(ITIMER_REAL)`` interrupts the block mid-flight.
+    Off the main thread (serve worker threads, thread pools) interval
+    timers are unavailable, so the deadline degrades to *cooperative*
+    enforcement instead of silently running unbounded: the yielded
+    :class:`Deadline` is also installed as the thread's
+    :func:`current_deadline` so nested code can call
+    :func:`check_deadline` between stages, and the context manager
+    performs a final check on normal exit — an over-budget block raises
+    even if it never checked.  The ``resilience.deadline_degraded``
+    counter ticks once per cooperative deadline.
+
+    When ``seconds`` is falsy the block runs without a deadline and the
+    context manager yields ``None``.
     """
     if not seconds or seconds <= 0:
-        yield
+        yield None
         return
-    if (
-        not hasattr(signal, "setitimer")
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        yield
+    preemptive = (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    deadline = Deadline(seconds, label, preemptive=preemptive)
+    stack = _deadline_stack()
+    stack.append(deadline)
+
+    if not preemptive:
+        get_obs().counter("resilience.deadline_degraded")
+        try:
+            yield deadline
+            deadline.check()
+        finally:
+            stack.pop()
         return
 
     def _on_timeout(signum, frame):
@@ -110,7 +202,9 @@ def cell_deadline(seconds: Optional[float], label: str) -> Iterator[None]:
     previous = signal.signal(signal.SIGALRM, _on_timeout)
     signal.setitimer(signal.ITIMER_REAL, float(seconds))
     try:
-        yield
+        yield deadline
+        deadline.check()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        stack.pop()

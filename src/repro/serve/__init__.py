@@ -1,0 +1,39 @@
+"""repro.serve — reordering-as-a-service (ROADMAP north-star item 1).
+
+A long-lived HTTP/JSON tier that turns the single-shot pipeline into
+something that can absorb heavy repeat traffic by caching permutations
+instead of recomputing them:
+
+* :class:`~repro.serve.store.PermutationStore` — a content-addressed
+  on-disk store: key = SHA-256 of the CSR *structure* + technique +
+  impl, every entry wrapped in the PR 4 checksummed cache envelope, so
+  a damaged entry quarantines and recomputes instead of poisoning the
+  service;
+* :class:`~repro.serve.coalesce.SingleFlight` — request coalescing:
+  concurrent requests for the same key block on one in-flight
+  computation via a keyed-lock table;
+* :class:`~repro.serve.service.ReorderService` — the request pipeline
+  (corpus name or ``.mtx`` upload -> recommended technique ->
+  permutation -> predicted traffic/runtime from the existing
+  simulator), with per-request deadlines reusing
+  :func:`~repro.resilience.cell_deadline` semantics;
+* :mod:`repro.serve.httpd` — the stdlib ``ThreadingHTTPServer`` front
+  end (``repro serve``);
+* :mod:`repro.serve.bench` — the load-test harness (``repro
+  serve-bench``) replaying a zipf-skewed synthetic trace and writing
+  ``BENCH_serve.json``.
+
+Everything is stdlib + numpy; there is no new dependency.
+"""
+
+from repro.serve.coalesce import SingleFlight
+from repro.serve.service import ReorderService, ServeConfig
+from repro.serve.store import PermutationStore, structure_digest
+
+__all__ = [
+    "PermutationStore",
+    "ReorderService",
+    "ServeConfig",
+    "SingleFlight",
+    "structure_digest",
+]

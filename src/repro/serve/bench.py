@@ -1,0 +1,333 @@
+"""Load-test harness for the serve tier (``repro serve-bench``).
+
+Replays a synthetic request trace against a running ``repro serve``
+instance (or one it spawns itself) and writes ``BENCH_serve.json``:
+
+* matrix popularity is zipf-skewed (weight ``1 / rank**skew``), the
+  canonical shape of repeat traffic a reordering service exists to
+  absorb — a few hot matrices dominate, a long tail stays cold;
+* the mix of store hits and misses therefore emerges naturally: first
+  touches miss and pay the full reorder+simulate pipeline, repeats hit
+  the content-addressed store;
+* client-side latency is recorded per request into the same
+  log-bucketed :class:`~repro.obs.histogram.Histogram` the server uses,
+  split by the ``X-Repro-Store`` response header, so the report can
+  state hit-path and miss-path p50/p99 from real distributions;
+* the server's own ``/stats`` snapshot (counters + histogram
+  summaries) is appended for the server-side view.
+
+The report's headline numbers: ``store_hit_rate`` (fraction of
+requests answered from the store) and ``hit_speedup_p50``
+(miss-path p50 / hit-path p50 — the acceptance floor is 10x).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.graphs.corpus import corpus_names
+from repro.obs.histogram import Histogram
+
+BENCH_SCHEMA = 1
+
+#: Latency classes, keyed by the ``X-Repro-Store`` response header.
+_CLASSES = ("hit", "miss", "coalesced")
+
+
+def zipf_trace(
+    names: Sequence[str], n_requests: int, skew: float = 1.1, seed: int = 0
+) -> List[str]:
+    """A zipf-skewed request trace over ``names`` (rank = given order).
+
+    ``weight(rank k) = 1 / k**skew``; ``skew=0`` degenerates to uniform.
+    Deterministic for a given seed, so bench runs are reproducible.
+    """
+    if not names:
+        raise ValidationError("zipf_trace needs at least one matrix name")
+    if n_requests < 1:
+        raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
+    weights = [1.0 / (rank**skew) for rank in range(1, len(names) + 1)]
+    rng = random.Random(seed)
+    return rng.choices(list(names), weights=weights, k=n_requests)
+
+
+def _post_json(
+    base_url: str, path: str, payload: Dict[str, object], timeout: float
+) -> Tuple[int, Dict[str, str], bytes]:
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base_url + path, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read()
+
+
+def _get_json(base_url: str, path: str, timeout: float) -> Dict[str, object]:
+    with urllib.request.urlopen(base_url + path, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def wait_for_server(base_url: str, timeout: float = 30.0) -> None:
+    """Poll ``/health`` until the server answers (or raise TimeoutError)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            if _get_json(base_url, "/health", timeout=2.0).get("ok"):
+                return
+        except (OSError, ValueError):
+            pass
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"serve endpoint {base_url} not healthy after {timeout}s")
+        time.sleep(0.05)
+
+
+class _LoadState:
+    """Shared, lock-guarded client-side measurement state."""
+
+    def __init__(self, trace: Sequence[str]) -> None:
+        self.trace = trace
+        self.next_index = 0
+        self.lock = threading.Lock()
+        self.overall = Histogram()
+        self.by_class: Dict[str, Histogram] = {name: Histogram() for name in _CLASSES}
+        self.errors: Dict[str, int] = {}
+
+    def take(self) -> Optional[str]:
+        with self.lock:
+            if self.next_index >= len(self.trace):
+                return None
+            name = self.trace[self.next_index]
+            self.next_index += 1
+            return name
+
+    def record(self, seconds: float, status: int, store: Optional[str]) -> None:
+        with self.lock:
+            if status == 200 and store in self.by_class:
+                self.overall.observe(seconds)
+                self.by_class[store].observe(seconds)
+            else:
+                key = str(status)
+                self.errors[key] = self.errors.get(key, 0) + 1
+
+
+def run_load(
+    base_url: str,
+    trace: Sequence[str],
+    concurrency: int = 4,
+    request_template: Optional[Dict[str, object]] = None,
+    timeout: float = 120.0,
+) -> _LoadState:
+    """Replay ``trace`` against ``base_url`` with ``concurrency`` workers."""
+    if concurrency < 1:
+        raise ValidationError(f"concurrency must be >= 1, got {concurrency}")
+    state = _LoadState(trace)
+    template = dict(request_template or {})
+
+    def worker() -> None:
+        while True:
+            name = state.take()
+            if name is None:
+                return
+            payload = dict(template)
+            payload["matrix"] = name
+            started = time.monotonic()
+            try:
+                status, headers, _body = _post_json(
+                    base_url, "/v1/reorder", payload, timeout
+                )
+            except OSError:
+                state.record(0.0, -1, None)
+                continue
+            state.record(
+                time.monotonic() - started, status, headers.get("X-Repro-Store")
+            )
+
+    threads = [
+        threading.Thread(target=worker, name=f"serve-bench-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return state
+
+
+def _class_summary(hist: Histogram) -> Dict[str, object]:
+    summary = hist.summary()
+    summary["mean"] = hist.mean()
+    return summary
+
+
+def bench_payload(
+    state: _LoadState,
+    server_stats: Optional[Dict[str, object]],
+    config: Dict[str, object],
+) -> Dict[str, object]:
+    """Assemble the ``BENCH_serve.json`` document."""
+    total = state.overall.count
+    hits = state.by_class["hit"].count
+    hit_p50 = state.by_class["hit"].percentile_or(0.50)
+    miss_p50 = state.by_class["miss"].percentile_or(0.50)
+    speedup = None
+    if hit_p50 and miss_p50 and hit_p50 > 0:
+        speedup = miss_p50 / hit_p50
+    # Server-side view of the same split, from the serve.request.{hit,
+    # miss} histograms: excludes client/socket overhead, so it isolates
+    # what the store actually saves (request parse + store read vs the
+    # full reorder+simulate pipeline).
+    server_speedup = None
+    if server_stats:
+        histograms = server_stats.get("histograms") or {}
+        server_hit = (histograms.get("serve.request.hit") or {}).get("p50")
+        server_miss = (histograms.get("serve.request.miss") or {}).get("p50")
+        if server_hit and server_miss:
+            server_speedup = server_miss / server_hit
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": config,
+        "requests": {
+            "total": total,
+            "errors": dict(sorted(state.errors.items())),
+        },
+        "client": {
+            "overall": _class_summary(state.overall),
+            **{name: _class_summary(state.by_class[name]) for name in _CLASSES},
+        },
+        "store_hit_rate": (hits / total) if total else 0.0,
+        "hit_speedup_p50": speedup,
+        "hit_speedup_p50_server": server_speedup,
+        "server": server_stats,
+    }
+
+
+def spawn_server(
+    profile: str = "test",
+    store_dir: Optional[str] = None,
+    extra_args: Sequence[str] = (),
+    timeout: float = 60.0,
+) -> Tuple[subprocess.Popen, str]:
+    """Launch ``repro serve`` on a free port; returns (process, base_url).
+
+    The child writes its bound port to a temp file (``--port-file``), so
+    there is no port race; the caller owns the process and must
+    ``terminate()`` it.
+    """
+    fd, port_file = tempfile.mkstemp(prefix="repro-serve-port-")
+    os.close(fd)
+    os.unlink(port_file)
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--profile",
+        profile,
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--port-file",
+        port_file,
+        *extra_args,
+    ]
+    env = dict(os.environ)
+    if store_dir is not None:
+        env["REPRO_SERVE_STORE"] = store_dir
+    process = subprocess.Popen(command, env=env)
+    deadline = time.monotonic() + timeout
+    try:
+        while not os.path.exists(port_file):
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"repro serve exited with {process.returncode} before binding"
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"repro serve did not bind a port in {timeout}s")
+            time.sleep(0.05)
+        with open(port_file, "r", encoding="utf-8") as handle:
+            port = int(handle.read().strip())
+        base_url = f"http://127.0.0.1:{port}"
+        wait_for_server(base_url, timeout=max(1.0, deadline - time.monotonic()))
+    except BaseException:
+        process.terminate()
+        process.wait(timeout=10)
+        raise
+    finally:
+        if os.path.exists(port_file):
+            os.unlink(port_file)
+    return process, base_url
+
+
+def run_bench(
+    base_url: Optional[str] = None,
+    profile: str = "test",
+    n_requests: int = 60,
+    concurrency: int = 4,
+    skew: float = 1.1,
+    seed: int = 0,
+    technique: str = "rabbit++",
+    kernel: str = "spmv-csr",
+    policy: str = "lru",
+    matrices: Optional[Sequence[str]] = None,
+    store_dir: Optional[str] = None,
+    timeout: float = 120.0,
+) -> Dict[str, object]:
+    """One full bench run; spawns a server when ``base_url`` is None."""
+    names = list(matrices) if matrices else corpus_names(profile)
+    trace = zipf_trace(names, n_requests, skew=skew, seed=seed)
+    template: Dict[str, object] = {
+        "technique": technique,
+        "kernel": kernel,
+        "policy": policy,
+        "include_permutation": False,
+    }
+    config: Dict[str, object] = {
+        "profile": profile,
+        "n_requests": n_requests,
+        "concurrency": concurrency,
+        "skew": skew,
+        "seed": seed,
+        "technique": technique,
+        "kernel": kernel,
+        "policy": policy,
+        "matrices": names,
+        "spawned": base_url is None,
+    }
+    process: Optional[subprocess.Popen] = None
+    try:
+        if base_url is None:
+            process, base_url = spawn_server(profile=profile, store_dir=store_dir)
+        state = run_load(
+            base_url, trace, concurrency=concurrency,
+            request_template=template, timeout=timeout,
+        )
+        try:
+            server_stats: Optional[Dict[str, object]] = _get_json(
+                base_url, "/stats", timeout=10.0
+            )
+        except (OSError, ValueError):
+            server_stats = None
+    finally:
+        if process is not None:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+                process.wait(timeout=10)
+    return bench_payload(state, server_stats, config)

@@ -1,0 +1,107 @@
+"""Request coalescing: one in-flight computation per key.
+
+:class:`SingleFlight` is a keyed-lock table.  The first caller of
+:meth:`~SingleFlight.do` for a key becomes the *leader* and runs the
+computation; concurrent callers for the same key become *followers* and
+block on the leader's completion event instead of recomputing.  This is
+what keeps a thundering herd of identical serve requests down to
+exactly one solver invocation.
+
+Semantics:
+
+* the leader's result (or exception) is shared with every follower of
+  that flight — an exception raised by the computation is re-raised in
+  each waiting caller;
+* the flight is removed from the table as soon as the leader finishes,
+  so a *later* request for the same key starts a fresh flight (which
+  typically then hits the store instead of computing);
+* followers wait deadline-aware: the wait honours the caller's active
+  :func:`~repro.resilience.current_deadline`, so a follower with a
+  tight per-request deadline raises ``CellTimeoutError`` instead of
+  waiting out a slow leader.
+
+Counters: ``serve.coalesce.lead`` (flights led), ``serve.coalesce.wait``
+(requests that piggybacked on an in-flight computation).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import CellTimeoutError
+from repro.obs import get_obs
+from repro.resilience import current_deadline
+
+
+class _Flight:
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Keyed-lock table coalescing concurrent same-key computations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Flight] = {}
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed (for ``/stats``)."""
+        with self._lock:
+            return len(self._inflight)
+
+    def do(self, key: str, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent batch of callers of ``key``.
+
+        Returns ``(result, led)`` where ``led`` is True for the caller
+        that actually ran ``fn``.  Followers re-raise the leader's
+        exception, or ``CellTimeoutError`` if their own deadline
+        expires while waiting.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _Flight()
+                lead = True
+            else:
+                lead = False
+
+        if lead:
+            get_obs().counter("serve.coalesce.lead")
+            try:
+                flight.result = fn()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    # The flight may only be removed by its own leader.
+                    if self._inflight.get(key) is flight:
+                        del self._inflight[key]
+                flight.done.set()
+            return flight.result, True
+
+        get_obs().counter("serve.coalesce.wait")
+        self._wait(flight, key)
+        if flight.error is not None:
+            raise flight.error
+        return flight.result, False
+
+    @staticmethod
+    def _wait(flight: _Flight, key: str) -> None:
+        deadline = current_deadline()
+        if deadline is None:
+            flight.done.wait()
+            return
+        while not flight.done.wait(timeout=max(0.0, deadline.remaining())):
+            if deadline.expired():
+                raise CellTimeoutError(
+                    f"cell {deadline.label} exceeded its "
+                    f"{deadline.seconds:g}s wall-clock timeout waiting on an "
+                    f"in-flight computation for {key[:12]}…"
+                )

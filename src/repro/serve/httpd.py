@@ -1,0 +1,189 @@
+"""Stdlib HTTP/JSON front end for :class:`~repro.serve.service.ReorderService`.
+
+A :class:`~http.server.ThreadingHTTPServer` (one daemon thread per
+connection, no new dependencies) exposing:
+
+* ``POST /v1/reorder`` — the request schema documented in
+  :mod:`repro.serve.service`; responds with the deterministic JSON body
+  plus transport headers:
+
+  - ``X-Repro-Store``: ``hit`` | ``miss`` | ``coalesced``,
+  - ``X-Repro-Seconds``: server-side wall time for this request.
+
+  The *body* of a store hit is byte-identical to the body of the miss
+  that created the entry — everything nondeterministic travels in
+  headers (``json.dumps(..., sort_keys=True)`` keeps the rendering
+  canonical).
+
+* ``GET /health`` — liveness probe.
+* ``GET /stats`` — store/coalescing stats plus the live counter and
+  histogram snapshot (``serve.request.hit`` / ``serve.request.miss``
+  latency histograms back the bench harness's server-side view).
+
+Error mapping (all JSON, none of them kill the server):
+``400`` malformed request / validation failure, ``404`` unknown corpus
+matrix or path, ``413`` oversized body, ``504`` per-request deadline
+exceeded (:class:`~repro.errors.CellTimeoutError`), ``500`` anything
+else.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CellTimeoutError, CorpusError, ValidationError
+from repro.obs import get_obs, logger
+from repro.serve.service import ReorderService
+
+
+def render_body(payload: Dict[str, object]) -> bytes:
+    """Canonical JSON rendering — the byte-identity contract.
+
+    Sorted keys and fixed separators mean two renderings of equal
+    payloads are equal as *bytes*, which is what the store-hit
+    integration test asserts against the original miss response.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class ReorderHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ReorderService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: ReorderService) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    @property
+    def service(self) -> ReorderService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Route access logs through the repro logger (silent unless the
+        # operator opts into --log-level debug) instead of stderr.
+        logger.debug("serve: %s - %s", self.address_string(), format % args)
+
+    # -- GET --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/health":
+            self._send_json(200, {"ok": True})
+            return
+        if self.path == "/stats":
+            obs = get_obs()
+            snapshot = obs.counters.snapshot()
+            histograms = {
+                name: hist.summary()
+                for name, hist in obs.counters.histograms().items()
+            }
+            self._send_json(
+                200,
+                {
+                    "service": self.service.stats(),
+                    "counters": snapshot["counters"],
+                    "histograms": histograms,
+                },
+            )
+            return
+        self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    # -- POST -------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/v1/reorder":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        body = self._read_body()
+        if body is None:
+            return  # error response already sent
+        started = time.monotonic()
+        obs = get_obs()
+        try:
+            with obs.span("serve-request"):
+                request = json.loads(body.decode("utf-8"))
+                result = self.service.handle(request)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(400, f"request body is not valid JSON: {exc}")
+            return
+        except ValidationError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except CorpusError as exc:
+            # CorpusError is a KeyError; str() of a KeyError quotes the
+            # message, so unwrap the original argument.
+            detail = exc.args[0] if exc.args else str(exc)
+            self._send_error_json(404, str(detail))
+            return
+        except CellTimeoutError as exc:
+            self._send_error_json(504, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - a request must not kill the server
+            logger.exception("serve: unhandled error for %s", self.path)
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        elapsed = time.monotonic() - started
+        obs.counter(f"serve.request.{result.store}")
+        obs.observe(f"serve.request.{result.store}", elapsed)
+        self._send_json(
+            200,
+            result.payload,
+            extra_headers={
+                "X-Repro-Store": result.store,
+                "X-Repro-Seconds": f"{elapsed:.6f}",
+            },
+        )
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _read_body(self) -> Optional[bytes]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(400, "malformed Content-Length header")
+            return None
+        if length <= 0:
+            self._send_error_json(400, "POST requires a JSON body (Content-Length)")
+            return None
+        limit = self.service.config.max_upload_bytes + 64 * 1024
+        if length > limit:
+            self._send_error_json(413, f"request body exceeds {limit} bytes")
+            return None
+        return self.rfile.read(length)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        get_obs().counter(f"serve.request.error.{status}")
+        self._send_json(status, {"error": message})
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = render_body(payload)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away; nothing to clean up
+
+
+def make_server(
+    service: ReorderService, host: str = "127.0.0.1", port: int = 0
+) -> ReorderHTTPServer:
+    """Bind (but do not start) a server; ``port=0`` picks a free port."""
+    return ReorderHTTPServer((host, port), service)

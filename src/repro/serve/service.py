@@ -1,0 +1,437 @@
+"""The serve-tier request pipeline (transport-agnostic core).
+
+:class:`ReorderService` turns one JSON request — a corpus matrix name
+or an uploaded ``.mtx`` body, plus a kernel spec — into the recommended
+technique, the permutation, and the predicted traffic/runtime from the
+existing simulator.  It is deliberately free of HTTP concerns so the
+integration tests can drive it directly and the stdlib HTTP front end
+(:mod:`repro.serve.httpd`) stays a thin adapter.
+
+Request schema (all fields optional unless noted)::
+
+    {
+      "matrix": "soc-forum",          # corpus name ... or:
+      "mtx": "%%MatrixMarket ...",    # MatrixMarket text upload
+      "technique": "auto",            # or any registry technique name
+      "kernel": "spmv-csr",
+      "policy": "lru",
+      "iterations": 100,              # amortization horizon for "auto"
+      "deadline_seconds": 2.0,        # per-request budget
+      "include_permutation": true
+    }
+
+Technique selection (``"auto"``) follows the amortization framing of
+arXiv 2506.10356 — reordering is only worth paying for if the
+per-iteration saving covers the one-time reordering cost within the
+requested iteration horizon — and prefers cheap orderings when they
+suffice (arXiv 2001.08448): candidates are tried lightweight-first and
+a cheaper ordering within 1% of the best total cost wins.
+
+Responses are *deterministic* given the store contents: a store hit is
+byte-identical to the miss response that created the entry, because
+both are rendered from the same stored evaluation payload.  Wall-clock
+metadata lives in transport headers, never in the body.
+
+Concurrency: every (structure, technique, impl, kernel, policy) key is
+computed at most once at a time (:class:`SingleFlight`), each stage
+checks the cooperative per-request deadline
+(:func:`~repro.resilience.check_deadline`), and all store writes are
+atomic with unique temp names.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpu.amortization import amortization_iterations
+from repro.gpu.perf import model_run
+from repro.gpu.specs import PlatformSpec, scaled_platform
+from repro.graphs.corpus import PROFILES, load_graph
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_matrix_market
+from repro.obs import get_obs
+from repro.reorder.base import reorder_with_timing
+from repro.reorder.registry import available_techniques, make_technique
+from repro.resilience import cell_deadline, check_deadline
+from repro.resilience.faults import fault_point
+from repro.serve.coalesce import SingleFlight
+from repro.serve.store import PermutationStore, eval_key, perm_key, structure_digest
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.ops import is_symmetric
+from repro.sparse.permute import permute_symmetric
+from repro.trace.kernelspec import KernelSpec
+
+#: Response/entry payload schema; bump on incompatible layout changes.
+RESPONSE_SCHEMA = 1
+
+#: The no-reordering baseline the amortization comparison runs against.
+BASELINE_TECHNIQUE = "original"
+
+#: Lightweight-first candidate shortlist for ``technique: "auto"``
+#: (arXiv 2001.08448: prefer cheap orderings when they suffice).
+DEFAULT_CANDIDATES = ("degsort", "rcm", "rabbit", "rabbit++")
+
+#: A cheaper-to-compute candidate within this fraction of the best
+#: total cost wins the recommendation.
+_CHEAP_TOLERANCE = 0.01
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server-side knobs for one :class:`ReorderService` instance."""
+
+    profile: str = "bench"
+    platform: Optional[PlatformSpec] = None
+    store_dir: Optional[str] = None
+    reorder_impl: Optional[str] = None
+    default_technique: str = "auto"
+    default_kernel: str = "spmv-csr"
+    default_policy: str = "lru"
+    default_iterations: int = 100
+    default_deadline_seconds: Optional[float] = None
+    candidates: Tuple[str, ...] = DEFAULT_CANDIDATES
+    max_upload_bytes: int = 16 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ValidationError(
+                f"unknown profile {self.profile!r}; valid: {PROFILES}"
+            )
+        known = available_techniques()
+        for name in self.candidates + (BASELINE_TECHNIQUE,):
+            if name not in known:
+                raise ValidationError(f"unknown candidate technique {name!r}")
+
+
+@dataclass
+class ServeResult:
+    """One handled request: deterministic body + transport metadata."""
+
+    payload: Dict[str, object]
+    #: "hit" (store read), "miss" (computed here) or "coalesced"
+    #: (piggybacked on a concurrent identical computation).
+    store: str = "miss"
+
+
+class ReorderService:
+    """Reordering-as-a-service request pipeline over a content store."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.platform = (
+            self.config.platform
+            if self.config.platform is not None
+            else scaled_platform(self.config.profile)
+        )
+        self.store = PermutationStore(self.config.store_dir)
+        self._flight = SingleFlight()
+        self._graph_lock = threading.Lock()
+        self._corpus_graphs: Dict[str, Tuple[Graph, str]] = {}
+
+    # -- request entry point --------------------------------------------
+
+    def handle(self, request: Dict[str, object]) -> ServeResult:
+        """Serve one request dict (see module docstring for the schema).
+
+        Raises :class:`ValidationError` for malformed requests,
+        :class:`~repro.errors.CorpusError` for unknown corpus names and
+        :class:`~repro.errors.CellTimeoutError` when the per-request
+        deadline expires; the transport maps these to 400/404/504.
+        """
+        if not isinstance(request, dict):
+            raise ValidationError("request body must be a JSON object")
+        technique = self._str_field(
+            request, "technique", self.config.default_technique
+        )
+        kernel = self._str_field(request, "kernel", self.config.default_kernel)
+        KernelSpec.parse(kernel)  # reject malformed kernel names up front
+        policy = self._str_field(request, "policy", self.config.default_policy)
+        if policy not in ("lru", "belady"):
+            raise ValidationError(f"policy must be 'lru' or 'belady', got {policy!r}")
+        if technique != "auto" and technique not in available_techniques():
+            raise ValidationError(
+                f"unknown technique {technique!r} (or 'auto'); "
+                f"available: {available_techniques()}"
+            )
+        iterations = request.get("iterations", self.config.default_iterations)
+        if not isinstance(iterations, int) or isinstance(iterations, bool) or iterations < 1:
+            raise ValidationError(
+                f"iterations must be a positive integer, got {iterations!r}"
+            )
+        deadline = request.get(
+            "deadline_seconds", self.config.default_deadline_seconds
+        )
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise ValidationError(
+                f"deadline_seconds must be a positive number, got {deadline!r}"
+            )
+        include_permutation = bool(request.get("include_permutation", True))
+
+        name = request.get("matrix")
+        mtx = request.get("mtx")
+        if (name is None) == (mtx is None):
+            raise ValidationError(
+                "request needs exactly one of 'matrix' (corpus name) or "
+                "'mtx' (MatrixMarket text)"
+            )
+
+        label = f"serve:{name if name is not None else 'upload'}:{technique}"
+        with cell_deadline(deadline, label):
+            with get_obs().span("serve-load", matrix=name or "upload"):
+                graph, digest = self._resolve_graph(name, mtx)
+            check_deadline()
+            recommendation = None
+            if technique == "auto":
+                technique, recommendation = self._recommend(
+                    graph, digest, kernel, policy, iterations
+                )
+            payload, store_state = self._evaluate(
+                graph, digest, technique, kernel, policy
+            )
+
+        body: Dict[str, object] = {
+            "schema": RESPONSE_SCHEMA,
+            "matrix": {
+                "name": name,
+                "digest": digest,
+                "n_nodes": graph.n_nodes,
+                "nnz": graph.adjacency.nnz,
+            },
+            "technique": technique,
+            "requested_technique": self._str_field(
+                request, "technique", self.config.default_technique
+            ),
+            "kernel": kernel,
+            "policy": policy,
+            "impl": self._impl_name(),
+            "platform": self.platform.name,
+            "iterations": iterations,
+            "recommendation": recommendation,
+            "reorder_seconds": payload["reorder_seconds"],
+            "perm_key": payload["perm_key"],
+            "eval_key": payload["eval_key"],
+            "model": payload["model"],
+            "permutation": payload["permutation"] if include_permutation else None,
+        }
+        return ServeResult(payload=body, store=store_state)
+
+    # -- matrix resolution ----------------------------------------------
+
+    def _resolve_graph(
+        self, name: Optional[object], mtx: Optional[object]
+    ) -> Tuple[Graph, str]:
+        if name is not None:
+            if not isinstance(name, str):
+                raise ValidationError("'matrix' must be a corpus name string")
+            with self._graph_lock:
+                cached = self._corpus_graphs.get(name)
+            if cached is not None:
+                return cached
+            graph = load_graph(name)  # raises CorpusError on unknown names
+            digest = structure_digest(graph.adjacency)
+            with self._graph_lock:
+                self._corpus_graphs[name] = (graph, digest)
+            return graph, digest
+        if not isinstance(mtx, str):
+            raise ValidationError("'mtx' must be MatrixMarket text")
+        if len(mtx) > self.config.max_upload_bytes:
+            raise ValidationError(
+                f"upload exceeds {self.config.max_upload_bytes} bytes"
+            )
+        coo = read_matrix_market(io.StringIO(mtx))
+        csr = coo_to_csr(coo)
+        graph = Graph(csr, directed=not is_symmetric(coo))
+        return graph, structure_digest(csr)
+
+    # -- evaluation (store-backed, coalesced) ---------------------------
+
+    def _impl_name(self) -> str:
+        return self.config.reorder_impl if self.config.reorder_impl else "auto"
+
+    def _evaluate(
+        self, graph: Graph, digest: str, technique: str, kernel: str, policy: str
+    ) -> Tuple[Dict[str, object], str]:
+        """Evaluated (permutation, kernel) payload plus its store state."""
+        impl = self._impl_name()
+        key = eval_key(digest, technique, impl, kernel, policy, self.platform.name)
+        cached = self.store.get("eval", key)
+        if cached is not None:
+            return cached, "hit"
+
+        def compute() -> Dict[str, object]:
+            # A concurrent flight (or another process) may have landed
+            # the entry between our miss and winning the flight lead.
+            landed = self.store.get("eval", key)
+            if landed is not None:
+                return landed
+            get_obs().counter("serve.compute.eval")
+            fault_point("serve.compute", label=f"{technique}|{kernel}")
+            check_deadline()
+            with get_obs().span(
+                "serve-eval", technique=technique, kernel=kernel, policy=policy
+            ):
+                perm_payload = self._permutation(graph, digest, technique)
+                check_deadline()
+                perm = np.asarray(perm_payload["permutation"], dtype=np.int64)
+                permuted = permute_symmetric(graph.adjacency, perm)
+                check_deadline()
+                trace = KernelSpec.parse(kernel).build_trace(permuted, self.platform)
+                run = model_run(trace, self.platform, policy=policy)
+            payload: Dict[str, object] = {
+                "schema": RESPONSE_SCHEMA,
+                "eval_key": key,
+                "perm_key": perm_payload["perm_key"],
+                "matrix_digest": digest,
+                "technique": technique,
+                "impl": impl,
+                "kernel": kernel,
+                "policy": policy,
+                "platform": self.platform.name,
+                "reorder_seconds": perm_payload["seconds"],
+                "permutation": perm_payload["permutation"],
+                "model": {
+                    "normalized_traffic": run.normalized_traffic,
+                    "normalized_runtime": run.normalized_runtime,
+                    "traffic_bytes": run.traffic_bytes,
+                    "compulsory_bytes": run.compulsory_bytes,
+                    "modeled_seconds": run.modeled_seconds,
+                    "ideal_seconds": run.ideal_seconds,
+                    "hit_rate": run.stats.hit_rate,
+                    "dead_line_fraction": run.stats.dead_line_fraction,
+                    "accesses": run.stats.accesses,
+                    "misses": run.stats.misses,
+                },
+            }
+            self.store.put("eval", key, payload)
+            return payload
+
+        result, led = self._flight.do(f"eval:{key}", compute)
+        return result, ("miss" if led else "coalesced")
+
+    def _permutation(
+        self, graph: Graph, digest: str, technique: str
+    ) -> Dict[str, object]:
+        """Store-backed, coalesced permutation computation."""
+        impl = self._impl_name()
+        key = perm_key(digest, technique, impl)
+        cached = self.store.get("perm", key)
+        if cached is not None:
+            return cached
+
+        def compute() -> Dict[str, object]:
+            landed = self.store.get("perm", key)
+            if landed is not None:
+                return landed
+            get_obs().counter("serve.compute.permutation")
+            check_deadline()
+            timed = reorder_with_timing(
+                make_technique(technique, impl=self.config.reorder_impl), graph
+            )
+            payload: Dict[str, object] = {
+                "schema": RESPONSE_SCHEMA,
+                "perm_key": key,
+                "matrix_digest": digest,
+                "technique": technique,
+                "impl": impl,
+                "n_nodes": graph.n_nodes,
+                "seconds": timed.seconds,
+                "permutation": timed.permutation.tolist(),
+            }
+            self.store.put("perm", key, payload)
+            return payload
+
+        result, _led = self._flight.do(f"perm:{key}", compute)
+        return result
+
+    # -- technique recommendation ---------------------------------------
+
+    def _recommend(
+        self,
+        graph: Graph,
+        digest: str,
+        kernel: str,
+        policy: str,
+        iterations: int,
+    ) -> Tuple[str, Dict[str, object]]:
+        """Amortization-framed technique choice over the candidate list.
+
+        Total cost of a candidate over the horizon is
+        ``reorder_seconds + iterations * modeled_seconds``; the
+        baseline (no reordering) costs ``iterations *
+        baseline_modeled_seconds``.  The cheapest-to-compute candidate
+        within :data:`_CHEAP_TOLERANCE` of the best total wins; if no
+        candidate beats the baseline, reordering is not worth paying
+        for and the baseline order is returned.
+        """
+        baseline, _ = self._evaluate(
+            graph, digest, BASELINE_TECHNIQUE, kernel, policy
+        )
+        baseline_seconds = float(baseline["model"]["modeled_seconds"])  # type: ignore[index]
+        baseline_total = iterations * baseline_seconds
+        rows = []
+        for candidate in self.config.candidates:
+            check_deadline()
+            payload, _ = self._evaluate(graph, digest, candidate, kernel, policy)
+            reorder_seconds = float(payload["reorder_seconds"])  # type: ignore[arg-type]
+            modeled = float(payload["model"]["modeled_seconds"])  # type: ignore[index]
+            amort = amortization_iterations(
+                reorder_seconds, baseline_seconds, modeled
+            )
+            rows.append(
+                {
+                    "technique": candidate,
+                    "reorder_seconds": reorder_seconds,
+                    "modeled_seconds": modeled,
+                    "normalized_runtime": payload["model"]["normalized_runtime"],  # type: ignore[index]
+                    "total_seconds": reorder_seconds + iterations * modeled,
+                    "amortization_iterations": (
+                        None if amort == float("inf") else amort
+                    ),
+                }
+            )
+        best_total = min(float(row["total_seconds"]) for row in rows)
+        chosen = BASELINE_TECHNIQUE
+        worth_it = best_total < baseline_total
+        if worth_it:
+            for row in rows:  # candidates are ordered lightweight-first
+                if float(row["total_seconds"]) <= best_total * (1 + _CHEAP_TOLERANCE):
+                    chosen = str(row["technique"])
+                    break
+        recommendation: Dict[str, object] = {
+            "iterations": iterations,
+            "baseline": {
+                "technique": BASELINE_TECHNIQUE,
+                "modeled_seconds": baseline_seconds,
+                "total_seconds": baseline_total,
+            },
+            "candidates": rows,
+            "reorder_worth_it": worth_it,
+            "chosen": chosen,
+        }
+        return chosen, recommendation
+
+    # -- misc ------------------------------------------------------------
+
+    @staticmethod
+    def _str_field(request: Dict[str, object], key: str, default: str) -> str:
+        value = request.get(key, default)
+        if not isinstance(value, str):
+            raise ValidationError(f"{key!r} must be a string, got {value!r}")
+        return value
+
+    def stats(self) -> Dict[str, object]:
+        """Store/coalescing stats for the ``/stats`` endpoint."""
+        return {
+            "store": self.store.stats(),
+            "inflight": self._flight.inflight(),
+            "profile": self.config.profile,
+            "platform": self.platform.name,
+        }

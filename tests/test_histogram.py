@@ -90,6 +90,21 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().percentile(0.5)
 
+    def test_percentile_or_guards_empty(self):
+        empty = Histogram()
+        assert empty.percentile_or(0.5) is None
+        assert empty.percentile_or(0.99, default=0.0) == 0.0
+        hist = Histogram()
+        hist.observe(0.25)
+        assert hist.percentile_or(0.5) == hist.percentile(0.5)
+
+    def test_empty_summary_reports_nulls_not_crash(self):
+        summary = Histogram().summary()
+        assert summary == {
+            "count": 0, "sum": 0.0, "min": None, "max": None,
+            "p50": None, "p90": None, "p99": None,
+        }
+
     def test_out_of_range_q_raises(self):
         hist = Histogram()
         hist.observe(1.0)

@@ -1,17 +1,30 @@
-"""Run ledger: manifest lifecycle, runs-dir resolution, CLI browsing."""
+"""Run ledger: manifest lifecycle, stale-run detection, CLI browsing."""
 
 import json
+import multiprocessing
 import os
+import time
 
 from repro.cli import main
-from repro.obs import FakeClock, Instrumentation
+from repro.obs import FakeClock, Histogram, Instrumentation
 from repro.obs.ledger import (
+    STALE_AFTER_SECONDS,
     RunLedger,
+    effective_status,
     find_run_dir,
     list_runs,
     load_manifest,
     resolve_runs_dir,
 )
+
+
+def dead_pid() -> int:
+    """A pid guaranteed to have existed and exited (so the liveness
+    probe sees ProcessLookupError, not a never-allocated pid)."""
+    process = multiprocessing.Process(target=lambda: None)
+    process.start()
+    process.join()
+    return process.pid
 
 
 class TestResolveRunsDir:
@@ -110,6 +123,74 @@ class TestQueries:
         assert list_runs(str(tmp_path / "nope")) == []
 
 
+class TestStaleRuns:
+    """A crashed run's ``running`` stub must render as ``stale``, not
+    look live forever in ``repro runs list``."""
+
+    def stub(self, **overrides):
+        manifest = {
+            "status": "running",
+            "pid": os.getpid(),
+            "host": __import__("socket").gethostname(),
+            "started_at": time.time(),
+        }
+        manifest.update(overrides)
+        return manifest
+
+    def test_finalized_statuses_pass_through(self):
+        for status in ("ok", "failed", "error", "unreadable"):
+            assert effective_status({"status": status, "pid": 1}) == status
+
+    def test_live_pid_stays_running(self):
+        assert effective_status(self.stub()) == "running"
+
+    def test_dead_pid_is_stale(self):
+        assert effective_status(self.stub(pid=dead_pid())) == "stale"
+
+    def test_other_host_uses_age_heuristic(self):
+        fresh = self.stub(host="elsewhere", pid=1)
+        assert effective_status(fresh) == "running"
+        old = self.stub(
+            host="elsewhere", pid=1,
+            started_at=time.time() - STALE_AFTER_SECONDS - 60,
+        )
+        assert effective_status(old) == "stale"
+
+    def test_legacy_stub_without_pid_uses_age(self):
+        now = time.time()
+        legacy = {"status": "running", "started_at": now - 10}
+        assert effective_status(legacy, now=now) == "running"
+        assert (
+            effective_status(legacy, now=now + STALE_AFTER_SECONDS + 60)
+            == "stale"
+        )
+
+    def test_unparseable_start_time_is_stale(self):
+        assert effective_status({"status": "running"}) == "stale"
+        assert effective_status({"status": "running", "started_at": "?"}) == "stale"
+
+    def test_runs_list_renders_crashed_run_as_stale(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "ledger")
+        crashed = RunLedger.create(runs_dir, kind="serve", argv=["serve"])
+        # Simulate the crash: the stub survives, its pid does not.
+        manifest = json.load(open(crashed.manifest_path))
+        assert manifest["status"] == "running"
+        manifest["pid"] = dead_pid()
+        json.dump(manifest, open(crashed.manifest_path, "w"))
+        live = RunLedger.create(runs_dir, kind="experiment", argv=[])
+        finished = RunLedger.create(runs_dir, kind="experiment", argv=[])
+        finished.finalize(None, exit_code=0, status="ok")
+        assert main(["--runs-dir", runs_dir, "runs", "list"]) == 0
+        rows = {
+            line.split()[0]: line.split()[2]
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith((crashed.run_id, live.run_id, finished.run_id))
+        }
+        assert rows[crashed.run_id] == "stale"
+        assert rows[live.run_id] == "running"  # this test's own live pid
+        assert rows[finished.run_id] == "ok"
+
+
 class TestRunsCli:
     def test_experiment_writes_ledger(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "memo"))
@@ -145,6 +226,23 @@ class TestRunsCli:
         assert main(["--runs-dir", runs_dir, "runs", "show", ledger.run_id[:6]]) == 0
         shown = json.loads(capsys.readouterr().out)
         assert shown["run_id"] == ledger.run_id
+
+    def test_runs_show_empty_histogram_end_to_end(self, tmp_path, capsys):
+        # An idle serve session finalizes with empty histograms (count
+        # 0); the manifest must carry null percentiles and `repro runs
+        # show` must render it — not crash on percentile-of-empty.
+        runs_dir = str(tmp_path / "ledger")
+        ledger = RunLedger.create(runs_dir, kind="serve", argv=["serve"])
+        instr = Instrumentation(enabled=True)
+        instr.counters.merge_histograms({"serve-request": Histogram()})
+        ledger.finalize(instr, exit_code=0, status="ok")
+        assert main(["--runs-dir", runs_dir, "runs", "show", ledger.run_id]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        summary = shown["histograms"]["serve-request"]
+        assert summary["count"] == 0
+        assert summary["p50"] is None
+        assert summary["p99"] is None
+        assert shown["effective_status"] == "ok"
 
     def test_runs_show_unknown_id(self, tmp_path, capsys):
         assert main(["--runs-dir", str(tmp_path), "runs", "show", "nope"]) == 2

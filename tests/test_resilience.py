@@ -15,6 +15,7 @@ The acceptance-level scenarios live here too:
 import json
 import os
 import random
+import threading
 
 import pytest
 
@@ -32,6 +33,7 @@ from repro.obs import FakeClock, Instrumentation, using
 from repro.parallel import RunnerConfig, execute_cells, metrics_cell, plan_cells, run_cell
 from repro.resilience import (
     CellFailure,
+    Deadline,
     FailureReport,
     FaultInjector,
     FaultPlan,
@@ -39,6 +41,8 @@ from repro.resilience import (
     RetryPolicy,
     SweepManifest,
     cell_deadline,
+    check_deadline,
+    current_deadline,
     fault_point,
     install_injector,
     is_transient,
@@ -50,6 +54,7 @@ from repro.resilience import (
     unwrap_document,
     wrap_payload,
 )
+from repro.resilience.integrity import atomic_write_document, unique_tmp_path
 
 EQUIVALENCE_DRIVERS = {"fig3": fig3.run}
 
@@ -122,6 +127,175 @@ class TestCellDeadline:
     def test_none_disables_enforcement(self):
         with cell_deadline(None, "cell"):
             pass
+
+    def test_main_thread_is_preemptive(self):
+        with cell_deadline(5.0, "cell") as deadline:
+            assert deadline.preemptive
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+
+class TestWorkerThreadDeadline:
+    """Regression: cell_deadline silently no-opped off the main thread.
+
+    SIGALRM timers only work on the main thread; before the fix a
+    worker-thread deadline installed nothing at all, so serve handler
+    threads ran unbounded.  Now enforcement degrades to cooperative
+    checks — and observably so, via ``resilience.deadline_degraded``.
+    """
+
+    def run_in_thread(self, fn):
+        result = {}
+
+        def target():
+            try:
+                result["value"] = fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                result["error"] = exc
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join(30.0)
+        assert not thread.is_alive()
+        if "error" in result:
+            raise result["error"]
+        return result["value"]
+
+    def test_timeout_fires_inside_worker_thread(self):
+        import time
+
+        def body():
+            with cell_deadline(0.05, "threaded-cell"):
+                for _ in range(100):
+                    time.sleep(0.01)
+                    check_deadline()
+            return "unreachable"
+
+        with pytest.raises(CellTimeoutError, match="threaded-cell"):
+            self.run_in_thread(body)
+
+    def test_final_check_catches_unchecked_overrun(self):
+        import time
+
+        def body():
+            # No cooperative checkpoints at all: the context manager's
+            # exit check must still raise for the over-budget block.
+            with cell_deadline(0.02, "unchecked-cell"):
+                time.sleep(0.1)
+
+        with pytest.raises(CellTimeoutError, match="unchecked-cell"):
+            self.run_in_thread(body)
+
+    def test_degraded_counter_ticks_off_main_thread_only(self):
+        with using(Instrumentation(enabled=True)) as instr:
+            with cell_deadline(5.0, "main-cell"):
+                pass
+            assert instr.counters.get("resilience.deadline_degraded") == 0
+
+            def body():
+                with cell_deadline(5.0, "thread-cell") as deadline:
+                    assert not deadline.preemptive
+                    assert current_deadline() is deadline
+                assert current_deadline() is None
+
+            self.run_in_thread(body)
+            assert instr.counters.get("resilience.deadline_degraded") == 1
+
+    def test_fast_threaded_block_unaffected(self):
+        def body():
+            with cell_deadline(5.0, "quick"):
+                return sum(range(50))
+
+        assert self.run_in_thread(body) == 1225
+
+    def test_check_deadline_is_noop_without_deadline(self):
+        check_deadline()  # must not raise
+
+    def test_deadline_object_api(self):
+        deadline = Deadline(30.0, "api")
+        assert 0.0 < deadline.remaining() <= 30.0
+        assert not deadline.expired()
+        deadline.check()
+        spent = Deadline(0.0, "spent")
+        assert spent.expired()
+        with pytest.raises(CellTimeoutError, match="spent"):
+            spent.check()
+
+
+class TestConcurrentWriters:
+    """N threads writing one memo/store key never tear the entry."""
+
+    def test_unique_tmp_paths_across_threads(self):
+        paths = set()
+        lock = threading.Lock()
+
+        def worker():
+            mine = [unique_tmp_path("/tmp/entry.json") for _ in range(200)]
+            with lock:
+                paths.update(mine)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert len(paths) == 8 * 200  # no collisions => no torn temp files
+
+    def test_same_key_write_storm_never_torn(self, tmp_path):
+        path = str(tmp_path / "cache" / "entry.json")
+        payload = {"permutation": list(range(64)), "seconds": 0.25}
+        document = wrap_payload(payload)
+        start = threading.Barrier(12)
+        errors = []
+
+        def writer():
+            start.wait(10.0)
+            try:
+                for _ in range(25):
+                    atomic_write_document(path, document)
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not errors
+        # The surviving entry verifies — never torn, never quarantined.
+        with using(Instrumentation(enabled=True)) as instr:
+            assert load_or_quarantine(
+                path, cache_dir=str(tmp_path / "cache")
+            ) == payload
+            assert instr.counters.get("resilience.quarantined") == 0
+        assert not os.path.exists(quarantine_path(str(tmp_path / "cache")))
+        # No leaked temp files either.
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path / "cache")
+            if name != "entry.json"
+        ]
+        assert leftovers == []
+
+    def test_distinct_writers_last_wins_verified(self, tmp_path):
+        # Distinct payloads racing one path: whichever wins, the entry
+        # must verify as exactly one of them (atomic replace semantics).
+        path = str(tmp_path / "entry.json")
+        payloads = [{"writer": i} for i in range(6)]
+        start = threading.Barrier(6)
+
+        def writer(i):
+            start.wait(10.0)
+            atomic_write_document(path, wrap_payload(payloads[i]))
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert load_verified(path) in payloads
 
 
 class TestIntegrityEnvelope:

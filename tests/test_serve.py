@@ -1,0 +1,414 @@
+"""Serve-tier tests: store, coalescing, service pipeline, and the HTTP
+endpoint over a real socket (coalescing counter-asserted, byte-identical
+store hits, deadline 504s that don't kill the server)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.errors import CorpusError, ValidationError
+from repro.graphs.corpus import load_graph, load_matrix
+from repro.graphs.io import write_matrix_market
+from repro.obs import Instrumentation
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    install_injector,
+    reset_faults,
+)
+from repro.serve.bench import bench_payload, zipf_trace
+from repro.serve.coalesce import SingleFlight
+from repro.serve.httpd import make_server, render_body
+from repro.serve.service import ReorderService, ServeConfig
+from repro.serve.store import (
+    PermutationStore,
+    eval_key,
+    perm_key,
+    structure_digest,
+)
+
+
+@pytest.fixture
+def instr():
+    """Enabled process-wide instrumentation (visible to server threads)."""
+    instrumentation = Instrumentation(enabled=True)
+    with obs.using(instrumentation):
+        yield instrumentation
+
+
+@pytest.fixture
+def service(tmp_path, instr):
+    return ReorderService(
+        ServeConfig(profile="test", store_dir=str(tmp_path / "store"))
+    )
+
+
+@pytest.fixture
+def faults():
+    yield
+    reset_faults()
+
+
+def _install_fault(site: str, **rule) -> None:
+    plan = FaultPlan.from_document([{"site": site, **rule}])
+    install_injector(FaultInjector(plan))
+
+
+# -- store ---------------------------------------------------------------
+
+
+def test_structure_digest_ignores_values():
+    csr = load_graph("test-comm").adjacency
+    digest = structure_digest(csr)
+    scaled = type(csr)(
+        csr.n_rows, csr.n_cols, csr.row_offsets, csr.col_indices,
+        csr.values * 3.0,
+    )
+    assert structure_digest(scaled) == digest
+    other = load_graph("test-mesh").adjacency
+    assert structure_digest(other) != digest
+
+
+def test_keys_depend_on_every_component():
+    keys = {
+        perm_key("d1", "rcm", "auto"),
+        perm_key("d2", "rcm", "auto"),
+        perm_key("d1", "rabbit", "auto"),
+        perm_key("d1", "rcm", "fast"),
+        eval_key("d1", "rcm", "auto", "spmv-csr", "lru", "p"),
+        eval_key("d1", "rcm", "auto", "spmv-csr", "belady", "p"),
+        eval_key("d1", "rcm", "auto", "spmm-csr-4", "lru", "p"),
+    }
+    assert len(keys) == 7
+
+
+def test_store_roundtrip_and_quarantine(tmp_path, instr):
+    store = PermutationStore(str(tmp_path / "store"))
+    key = perm_key("digest", "rcm", "auto")
+    assert store.get("perm", key) is None
+    path = store.put("perm", key, {"permutation": [0, 1, 2]})
+    assert store.get("perm", key) == {"permutation": [0, 1, 2]}
+    # Damage the entry: the read must miss and quarantine, not crash.
+    with open(path, "r+b") as handle:
+        handle.truncate(20)
+    assert store.get("perm", key) is None
+    assert store.stats()["quarantine"]["entries"] == 1
+    with pytest.raises(ValueError):
+        store.path("nope", key)
+
+
+# -- coalescing ----------------------------------------------------------
+
+
+def test_singleflight_coalesces_concurrent_callers(instr):
+    flight = SingleFlight()
+    calls = []
+    release = threading.Event()
+    started = threading.Barrier(4)
+    results = []
+
+    def compute():
+        calls.append(1)
+        release.wait(5.0)
+        return "value"
+
+    def worker():
+        started.wait(5.0)
+        results.append(flight.do("k", compute))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    # Hold the leader inside compute() until all three followers have
+    # been classified (the wait counter ticks after the under-lock
+    # leader/follower decision), so none can arrive late and lead a
+    # fresh flight of its own.
+    stop = time.monotonic() + 10.0
+    while instr.counters.get("serve.coalesce.wait") < 3:
+        assert time.monotonic() < stop, "followers never joined the flight"
+        time.sleep(0.001)
+    release.set()
+    for t in threads:
+        t.join(10.0)
+    assert len(calls) == 1
+    assert sorted(led for _, led in results) == [False, False, False, True]
+    assert all(value == "value" for value, _ in results)
+    assert flight.inflight() == 0
+
+
+def test_singleflight_propagates_leader_error(instr):
+    flight = SingleFlight()
+    gate = threading.Event()
+    errors = []
+
+    def compute():
+        gate.wait(5.0)
+        raise RuntimeError("boom")
+
+    def follower():
+        try:
+            flight.do("k", compute)
+        except RuntimeError as exc:
+            errors.append(str(exc))
+
+    threads = [threading.Thread(target=follower) for _ in range(2)]
+    threads[0].start()
+    while flight.inflight() == 0:
+        time.sleep(0.001)
+    threads[1].start()
+    gate.set()
+    for t in threads:
+        t.join(10.0)
+    assert errors == ["boom", "boom"]
+    # A later call starts a fresh flight (and fails on its own terms).
+    with pytest.raises(RuntimeError):
+        flight.do("k", compute)
+
+
+def test_singleflight_sequential_calls_each_lead(instr):
+    flight = SingleFlight()
+    value, led = flight.do("k", lambda: 1)
+    assert (value, led) == (1, True)
+    value, led = flight.do("k", lambda: 2)
+    assert (value, led) == (2, True)
+
+
+# -- service pipeline ----------------------------------------------------
+
+
+def test_handle_validates_requests(service):
+    with pytest.raises(ValidationError):
+        service.handle({})  # neither matrix nor mtx
+    with pytest.raises(ValidationError):
+        service.handle({"matrix": "test-comm", "mtx": "both"})
+    with pytest.raises(ValidationError):
+        service.handle({"matrix": "test-comm", "technique": "nope"})
+    with pytest.raises(ValidationError):
+        service.handle({"matrix": "test-comm", "kernel": "spmm-csr-0"})
+    with pytest.raises(ValidationError):
+        service.handle({"matrix": "test-comm", "policy": "mru"})
+    with pytest.raises(ValidationError):
+        service.handle({"matrix": "test-comm", "iterations": 0})
+    with pytest.raises(ValidationError):
+        service.handle({"matrix": "test-comm", "deadline_seconds": -1})
+    with pytest.raises(CorpusError):
+        service.handle({"matrix": "no-such-matrix"})
+
+
+def test_miss_then_hit_byte_identical(service):
+    request = {"matrix": "test-comm", "technique": "degsort"}
+    first = service.handle(request)
+    second = service.handle(request)
+    assert first.store == "miss"
+    assert second.store == "hit"
+    assert render_body(first.payload) == render_body(second.payload)
+    perm = first.payload["permutation"]
+    n = first.payload["matrix"]["n_nodes"]
+    assert sorted(perm) == list(range(n))
+
+
+def test_upload_shares_store_entry_with_corpus_matrix(service, tmp_path):
+    # Same structure => same content address: an .mtx upload of a corpus
+    # matrix must *hit* the entry the named request created.
+    named = service.handle({"matrix": "test-comm", "technique": "degsort"})
+    path = tmp_path / "m.mtx"
+    write_matrix_market(load_matrix("test-comm"), str(path))
+    uploaded = service.handle(
+        {"mtx": path.read_text(), "technique": "degsort"}
+    )
+    assert uploaded.store == "hit"
+    assert uploaded.payload["matrix"]["digest"] == named.payload["matrix"]["digest"]
+    assert uploaded.payload["permutation"] == named.payload["permutation"]
+
+
+def test_auto_recommendation_is_amortization_framed(service):
+    result = service.handle(
+        {"matrix": "test-comm", "technique": "auto", "iterations": 7}
+    )
+    rec = result.payload["recommendation"]
+    assert rec["iterations"] == 7
+    assert rec["baseline"]["technique"] == "original"
+    assert [c["technique"] for c in rec["candidates"]] == list(
+        service.config.candidates
+    )
+    for row in rec["candidates"]:
+        expected = row["reorder_seconds"] + 7 * row["modeled_seconds"]
+        assert row["total_seconds"] == pytest.approx(expected)
+    # The chosen technique is the response's technique.
+    assert result.payload["technique"] == rec["chosen"]
+    if not rec["reorder_worth_it"]:
+        assert rec["chosen"] == "original"
+    else:
+        best = min(c["total_seconds"] for c in rec["candidates"])
+        chosen_row = next(
+            c for c in rec["candidates"] if c["technique"] == rec["chosen"]
+        )
+        assert chosen_row["total_seconds"] <= best * 1.01
+        assert best < rec["baseline"]["total_seconds"]
+
+
+def test_compute_counters_tick_once_per_entry(service, instr):
+    service.handle({"matrix": "test-comm", "technique": "degsort"})
+    service.handle({"matrix": "test-comm", "technique": "degsort"})
+    assert instr.counters.get("serve.compute.permutation") == 1
+    assert instr.counters.get("serve.compute.eval") == 1
+    assert instr.counters.get("serve.store.eval.hit") == 1
+
+
+# -- HTTP over a real socket ---------------------------------------------
+
+
+@pytest.fixture
+def endpoint(service):
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(10.0)
+
+
+def _post(base_url, payload, timeout=60.0):
+    data = json.dumps(payload).encode() if isinstance(payload, dict) else payload
+    request = urllib.request.Request(
+        base_url + "/v1/reorder",
+        data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read()
+
+
+def test_health_and_stats_endpoints(endpoint):
+    with urllib.request.urlopen(endpoint + "/health", timeout=10) as response:
+        assert json.loads(response.read()) == {"ok": True}
+    _post(endpoint, {"matrix": "test-comm", "technique": "degsort"})
+    with urllib.request.urlopen(endpoint + "/stats", timeout=10) as response:
+        stats = json.loads(response.read())
+    assert stats["service"]["store"]["perm"]["entries"] == 1
+    assert stats["counters"]["serve.request.miss"] == 1
+    assert stats["histograms"]["serve.request.miss"]["count"] == 1
+
+
+def test_http_miss_then_hit_byte_identical(endpoint):
+    request = {"matrix": "test-comm", "technique": "rcm"}
+    status1, headers1, body1 = _post(endpoint, request)
+    status2, headers2, body2 = _post(endpoint, request)
+    assert (status1, status2) == (200, 200)
+    assert headers1["X-Repro-Store"] == "miss"
+    assert headers2["X-Repro-Store"] == "hit"
+    assert body1 == body2  # bytes, not just JSON-equal
+    assert float(headers2["X-Repro-Seconds"]) >= 0.0
+
+
+def test_http_error_mapping(endpoint):
+    status, _, body = _post(endpoint, b"{not json")
+    assert status == 400
+    assert "JSON" in json.loads(body)["error"]
+    status, _, _ = _post(endpoint, {"matrix": "test-comm", "technique": "nope"})
+    assert status == 400
+    status, _, body = _post(endpoint, {"matrix": "no-such"})
+    assert status == 404
+    assert "no-such" in json.loads(body)["error"]
+    request = urllib.request.Request(endpoint + "/nope", data=b"{}")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            status = response.status
+    except urllib.error.HTTPError as exc:
+        status = exc.code
+    assert status == 404
+
+
+def test_http_coalesces_to_one_solver_invocation(endpoint, instr, faults):
+    # Stall the (single) computation so concurrent identical requests
+    # pile up behind the leader's flight instead of racing it.
+    _install_fault("serve.compute", action="delay", seconds=0.5, times=1)
+    results = []
+    barrier = threading.Barrier(4)
+
+    def client():
+        barrier.wait(5.0)
+        results.append(
+            _post(endpoint, {"matrix": "test-comm", "technique": "hubsort"})
+        )
+
+    threads = [threading.Thread(target=client) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30.0)
+    assert [status for status, _, _ in results] == [200] * 4
+    # The coalescing proof: four concurrent requests, exactly one
+    # reordering and one evaluation actually computed.
+    assert instr.counters.get("serve.compute.permutation") == 1
+    assert instr.counters.get("serve.compute.eval") == 1
+    assert instr.counters.get("serve.coalesce.wait") >= 1
+    bodies = {body for _, _, body in results}
+    assert len(bodies) == 1  # every caller saw identical bytes
+
+
+def test_http_deadline_returns_504_and_server_survives(endpoint, instr, faults):
+    _install_fault("serve.compute", action="delay", seconds=0.6, times=1)
+    status, _, body = _post(
+        endpoint,
+        {"matrix": "test-comm", "technique": "rcm", "deadline_seconds": 0.15},
+    )
+    assert status == 504
+    assert "timeout" in json.loads(body)["error"]
+    # Handler threads are not the main thread: enforcement must have
+    # degraded to the cooperative path, observably.
+    assert instr.counters.get("resilience.deadline_degraded") >= 1
+    # The server is still alive and the entry is computable afterwards.
+    status, headers, _ = _post(
+        endpoint, {"matrix": "test-comm", "technique": "rcm"}
+    )
+    assert status == 200
+    assert headers["X-Repro-Store"] in ("miss", "hit")
+
+
+# -- bench helpers -------------------------------------------------------
+
+
+def test_zipf_trace_is_deterministic_and_skewed():
+    names = [f"m{i}" for i in range(6)]
+    trace = zipf_trace(names, 400, skew=1.2, seed=7)
+    assert trace == zipf_trace(names, 400, skew=1.2, seed=7)
+    assert len(trace) == 400
+    counts = {name: trace.count(name) for name in names}
+    assert counts["m0"] > counts["m5"]  # rank 1 beats the tail
+    with pytest.raises(ValidationError):
+        zipf_trace([], 10)
+    with pytest.raises(ValidationError):
+        zipf_trace(names, 0)
+
+
+def test_bench_payload_math():
+    from repro.serve.bench import _LoadState
+
+    state = _LoadState(["a"] * 6)
+    for seconds in (0.001, 0.001, 0.002):
+        state.record(seconds, 200, "hit")
+    for seconds in (0.05, 0.06):
+        state.record(seconds, 200, "miss")
+    state.record(0.0, 504, None)
+    payload = bench_payload(state, server_stats=None, config={"x": 1})
+    assert payload["requests"]["total"] == 5
+    assert payload["requests"]["errors"] == {"504": 1}
+    assert payload["store_hit_rate"] == pytest.approx(3 / 5)
+    assert payload["hit_speedup_p50"] > 10
+    assert payload["client"]["hit"]["count"] == 3
+    assert payload["client"]["miss"]["p50"] is not None
