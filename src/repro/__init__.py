@@ -30,7 +30,14 @@ Quick start::
     print(result.normalized_traffic, result.normalized_runtime)
 """
 
-from repro.api import evaluate_ordering, reorder_matrix
+from repro.api import (
+    Recommendation,
+    ReorderEvaluation,
+    evaluate_ordering,
+    recommend,
+    reorder_and_evaluate,
+    reorder_matrix,
+)
 from repro.cache import (
     CacheConfig,
     CacheStats,
@@ -56,7 +63,13 @@ from repro.reorder import (
     make_technique,
 )
 from repro.sparse import COOMatrix, CSRMatrix, spmm_csr, spmv_coo, spmv_csr
-from repro.trace import KernelSpec, spmm_csr_trace, spmv_coo_trace, spmv_csr_trace
+from repro.trace import (
+    KernelSpec,
+    spgemm_csr_trace,
+    spmm_csr_trace,
+    spmv_coo_trace,
+    spmv_csr_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -73,6 +86,8 @@ __all__ = [
     "PlatformSpec",
     "RabbitOrder",
     "RabbitPlusPlus",
+    "Recommendation",
+    "ReorderEvaluation",
     "SCALED_A6000",
     "available_techniques",
     "corpus_names",
@@ -87,11 +102,14 @@ __all__ = [
     "model_run",
     "modularity",
     "rabbit_communities",
+    "recommend",
+    "reorder_and_evaluate",
     "reorder_matrix",
     "scaled_platform",
     "simulate",
     "simulate_belady",
     "simulate_lru",
+    "spgemm_csr_trace",
     "spmm_csr",
     "spmm_csr_trace",
     "spmv_coo",

@@ -14,6 +14,7 @@ lines with their next-use time plus a lazy max-heap for eviction.
 from __future__ import annotations
 
 import heapq
+import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -21,7 +22,6 @@ import numpy as np
 from repro.cache.config import CacheConfig
 from repro.cache.lru import RegionBounds, classify_misses
 from repro.cache.stats import CacheStats
-from repro.obs import get_obs
 
 
 def next_use_index(trace: np.ndarray) -> np.ndarray:
@@ -46,13 +46,21 @@ def simulate_belady(
     config: CacheConfig,
     regions: Optional[RegionBounds] = None,
 ) -> CacheStats:
-    """Simulate a cache with Belady's optimal replacement."""
-    obs = get_obs()
-    with obs.span("cache-sim", policy="belady", accesses=int(np.size(trace))):
-        stats = _simulate_belady(trace, config, regions)
-    if obs.enabled:
-        obs.add_counters(stats.as_counters(prefix="cache.belady"))
-    return stats
+    """Simulate a cache with Belady's optimal replacement.
+
+    .. deprecated::
+        Call :func:`repro.cache.simulate` with ``policy="belady"``
+        instead; it adds engine dispatch and the observability span.
+    """
+    warnings.warn(
+        "simulate_belady is deprecated; use "
+        "repro.cache.simulate(trace, config, policy='belady') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.cache.dispatch import simulate
+
+    return simulate(trace, config, policy="belady", regions=regions, impl="reference")
 
 
 def _simulate_belady(

@@ -31,6 +31,13 @@ from repro.trace.kernelspec import KernelSpec
 BENCH_GRAPH = {"scale": 16, "edge_factor": 16, "seed": 7}
 SMOKE_GRAPH = {"scale": 12, "edge_factor": 8, "seed": 7}
 
+#: SpGEMM workloads use smaller seeded graphs: the Gustavson trace
+#: length scales with the multiply's flop count (~nnz x average
+#: degree), so an SpMV-sized RMAT would produce a trace two orders of
+#: magnitude longer than the SpMV bench instead of a comparable one.
+SPGEMM_BENCH_GRAPH = {"scale": 11, "edge_factor": 8, "seed": 7}
+SPGEMM_SMOKE_GRAPH = {"scale": 9, "edge_factor": 8, "seed": 7}
+
 #: Smoke cache: 256 KiB / 32 B lines / 16 ways -> 512 sets.
 SMOKE_CACHE = {"capacity_bytes": 256 * 1024, "line_bytes": 32, "ways": 16}
 
@@ -53,20 +60,24 @@ class BenchResult:
         }
 
 
-def build_bench_workload(smoke: bool = False) -> Tuple[KernelTrace, CacheConfig]:
-    """The seeded benchmark trace and cache geometry."""
+def build_bench_workload(
+    smoke: bool = False, kernel: str = "spmv-csr"
+) -> Tuple[KernelTrace, CacheConfig]:
+    """The seeded benchmark trace and cache geometry for ``kernel``."""
     from repro.gpu.specs import A6000
     from repro.graphs.generators.powerlaw import rmat
     from repro.sparse.convert import coo_to_csr
 
-    params = SMOKE_GRAPH if smoke else BENCH_GRAPH
-    with get_obs().span("bench-sim-setup", **params):
+    spec = KernelSpec.coerce(kernel)
+    if spec.kind == "spgemm-csr":
+        params = SPGEMM_SMOKE_GRAPH if smoke else SPGEMM_BENCH_GRAPH
+    else:
+        params = SMOKE_GRAPH if smoke else BENCH_GRAPH
+    with get_obs().span("bench-sim-setup", kernel=spec.name, **params):
         coo = rmat(directed=False, **params)
         csr = coo_to_csr(coo)
         config = CacheConfig(**SMOKE_CACHE) if smoke else A6000.cache_config()
-        trace = KernelSpec.parse("spmv-csr").build_trace(
-            csr, line_bytes=config.line_bytes
-        )
+        trace = spec.build_trace(csr, line_bytes=config.line_bytes)
     return trace, config
 
 

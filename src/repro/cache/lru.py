@@ -14,6 +14,7 @@ chunks converted via ``tolist`` so the hot loop handles native ints.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -21,7 +22,6 @@ import numpy as np
 
 from repro.cache.config import CacheConfig
 from repro.cache.stats import CacheStats
-from repro.obs import get_obs
 
 #: (region name, first line id, one-past-last line id)
 RegionBounds = Sequence[Tuple[str, int, int]]
@@ -34,13 +34,21 @@ def simulate_lru(
     config: CacheConfig,
     regions: Optional[RegionBounds] = None,
 ) -> CacheStats:
-    """Simulate an LRU cache over ``trace`` (array of line IDs)."""
-    obs = get_obs()
-    with obs.span("cache-sim", policy="lru", accesses=int(np.size(trace))):
-        stats = _simulate_lru(trace, config, regions)
-    if obs.enabled:
-        obs.add_counters(stats.as_counters(prefix="cache.lru"))
-    return stats
+    """Simulate an LRU cache over ``trace`` (array of line IDs).
+
+    .. deprecated::
+        Call :func:`repro.cache.simulate` with ``policy="lru"``
+        instead; it adds engine dispatch and the observability span.
+    """
+    warnings.warn(
+        "simulate_lru is deprecated; use "
+        "repro.cache.simulate(trace, config, policy='lru') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.cache.dispatch import simulate
+
+    return simulate(trace, config, policy="lru", regions=regions, impl="reference")
 
 
 def _simulate_lru(

@@ -318,6 +318,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=1, help="timing repetitions (best is kept)"
     )
     bench_sim.add_argument(
+        "--kernel",
+        default="spmv-csr",
+        help="kernel traced over the seeded workload (default: spmv-csr)",
+    )
+    bench_sim.add_argument(
         "--json", default=None, metavar="PATH", help="write the BENCH_sim.json payload to PATH"
     )
     bench_sim.set_defaults(handler=_cmd_bench_sim)
@@ -520,6 +525,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-request client timeout",
     )
     serve_bench.set_defaults(handler=_cmd_serve_bench)
+
+    predict_validate = subparsers.add_parser(
+        "predict-validate",
+        help="fit the effectiveness predictor and gate on rank correlation",
+    )
+    predict_validate.add_argument("--profile", default="test", choices=PROFILES)
+    predict_validate.add_argument("--kernel", default="spmv-csr")
+    predict_validate.add_argument(
+        "--min-spearman",
+        type=float,
+        default=None,
+        metavar="RHO",
+        help="exit 1 unless the calibration Spearman reaches RHO "
+        "(default: the package floor, 0.8)",
+    )
+    predict_validate.add_argument(
+        "--cache-dir",
+        default=None,
+        help="memo directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+    )
+    predict_validate.add_argument(
+        "--json", default=None, metavar="PATH", help="write the validation payload to PATH"
+    )
+    predict_validate.set_defaults(handler=_cmd_predict_validate)
 
     version = subparsers.add_parser("version", help="print the package version")
     version.set_defaults(handler=_cmd_version)
@@ -955,7 +984,7 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     from repro.cache.benchsim import build_bench_workload, run_bench
 
     policies = ("lru", "belady") if args.policy == "both" else (args.policy,)
-    trace, config = build_bench_workload(smoke=args.smoke)
+    trace, config = build_bench_workload(smoke=args.smoke, kernel=args.kernel)
     print(
         f"workload: {trace.kernel}, {trace.lines.size} accesses, "
         f"{config.n_sets} sets x {config.ways} ways"
@@ -1292,6 +1321,39 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_predict_validate(args: argparse.Namespace) -> int:
+    from repro.predict.validate import DEFAULT_MIN_SPEARMAN, fit_and_validate
+
+    floor = args.min_spearman if args.min_spearman is not None else DEFAULT_MIN_SPEARMAN
+    _, result = fit_and_validate(
+        profile=args.profile,
+        kernel=args.kernel,
+        min_spearman=floor,
+        cache_dir=args.cache_dir,
+    )
+    print(
+        f"predictor: kernel={result.kernel} platform={result.platform} "
+        f"({result.n_matrices} matrices, {result.n_cells} cells)"
+    )
+    print(f"spearman (calibration): {result.spearman_fit:.3f}")
+    print(f"spearman (leave-one-matrix-out): {result.spearman_loo:.3f}")
+    for technique, rho in sorted(result.per_technique.items()):
+        print(f"  {technique}: {rho:.3f}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    if not result.passed:
+        print(
+            f"predict-validate gate: FAIL (spearman {result.spearman_fit:.3f} "
+            f"< {floor:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"predict-validate gate: PASS (floor {floor:.3f})")
     return 0
 
 

@@ -26,6 +26,7 @@ from repro.experiments import (
     hierarchy_ablation,
     schedule_ablation,
     sensitivity,
+    spgemm,
     table1,
     table2,
     table3,
@@ -60,6 +61,7 @@ ABLATIONS: Dict[str, Callable[..., ExperimentReport]] = {
     "ablation-schedule": schedule_ablation.run,
     "ablation-hierarchy": hierarchy_ablation.run,
     "ablation-tiling": tiling.run,
+    "spgemm-sweep": spgemm.run,
 }
 
 

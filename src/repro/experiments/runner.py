@@ -57,7 +57,7 @@ from repro.sparse.mask import restrict_to_nodes
 from repro.sparse.permute import permute_symmetric
 from repro.trace.kernelspec import KernelSpec
 
-KERNELS = ("spmv-csr", "spmv-coo", "spmm-csr-4", "spmm-csr-256")
+KERNELS = ("spmv-csr", "spmv-coo", "spmm-csr-4", "spmm-csr-256", "spgemm-csr")
 MASKS = ("none", "insular")
 
 #: Default memo directory *name*, resolved against the working

@@ -41,13 +41,16 @@ def average_neighbor_span(csr: CSRMatrix) -> float:
     A cheap proxy for the irregular-access working set per row; good
     orderings produce small spans.
     """
-    spans = []
-    for row in range(csr.n_rows):
-        cols = csr.row_slice(row)
-        if cols.size:
-            spans.append(int(cols.max()) - int(cols.min()))
-    if not spans:
+    if csr.nnz == 0:
         return 0.0
+    # Non-empty rows partition col_indices into contiguous runs whose
+    # starts are strictly increasing, exactly what reduceat needs.
+    nonempty = np.diff(csr.row_offsets) > 0
+    starts = csr.row_offsets[:-1][nonempty]
+    spans = (
+        np.maximum.reduceat(csr.col_indices, starts)
+        - np.minimum.reduceat(csr.col_indices, starts)
+    )
     return float(np.mean(spans))
 
 
@@ -61,14 +64,13 @@ def matrix_bandwidth(csr: CSRMatrix) -> int:
 
 def matrix_profile(csr: CSRMatrix) -> int:
     """Sum over rows of the distance from the diagonal to the leftmost entry."""
-    profile = 0
-    for row in range(csr.n_rows):
-        cols = csr.row_slice(row)
-        if cols.size:
-            leftmost = int(cols.min())
-            if leftmost < row:
-                profile += row - leftmost
-    return profile
+    if csr.nnz == 0:
+        return 0
+    nonempty = np.diff(csr.row_offsets) > 0
+    starts = csr.row_offsets[:-1][nonempty]
+    rows = np.nonzero(nonempty)[0]
+    leftmost = np.minimum.reduceat(csr.col_indices, starts)
+    return int(np.maximum(rows - leftmost, 0).sum())
 
 
 def working_set_lines(

@@ -1,0 +1,51 @@
+"""Reordering-effectiveness prediction (arXiv 2506.10356).
+
+"Is Sparse Matrix Reordering Effective for SpMV?" shows that a handful
+of cheap structural features predict whether a matrix benefits from
+reordering *before* paying the reordering cost.  This package maps the
+structure metrics the repo already computes (insularity, degree skew,
+bandwidth, cache-footprint ratios — :mod:`repro.metrics`) to predicted
+per-(matrix, technique) traffic and run-time reductions, fitted against
+the trace-driven simulator across the corpus:
+
+* :mod:`repro.predict.features` — the feature extractor;
+* :mod:`repro.predict.dataset` — simulator-labelled training cells
+  built through the memoized :class:`~repro.experiments.runner.ExperimentRunner`;
+* :mod:`repro.predict.model` — ridge-regression predictor with
+  Spearman calibration utilities;
+* :mod:`repro.predict.validate` — fit + validate, the CI gate;
+* :mod:`repro.predict.pretrained` — committed coefficients so the
+  serve tier recommends without fitting at request time.
+
+The serve ``"technique": "auto"`` recommender consumes the predictor
+(:mod:`repro.serve.service`), replacing the PR 7 brute-force candidate
+sweep: a recommendation now costs one feature extraction instead of
+one reorder + trace + simulation per candidate.
+"""
+
+from repro.predict.features import (
+    FEATURE_NAMES,
+    analytic_compulsory_bytes,
+    feature_vector,
+    structural_features,
+)
+from repro.predict.model import TrafficPredictor, spearman
+from repro.predict.dataset import PredictorDataset, build_dataset
+from repro.predict.validate import ValidationResult, fit_and_validate, fit_predictor
+from repro.predict.pretrained import load_pretrained, pretrained_pairs
+
+__all__ = [
+    "FEATURE_NAMES",
+    "PredictorDataset",
+    "TrafficPredictor",
+    "ValidationResult",
+    "analytic_compulsory_bytes",
+    "build_dataset",
+    "feature_vector",
+    "fit_and_validate",
+    "fit_predictor",
+    "load_pretrained",
+    "pretrained_pairs",
+    "spearman",
+    "structural_features",
+]

@@ -1,0 +1,246 @@
+"""Ridge-regression effectiveness predictor.
+
+One :class:`TrafficPredictor` holds, for a single (kernel, platform)
+pair, a small per-technique family of linear models over the
+standardized structural features:
+
+* ``traffic_reduction`` — ``1 - traffic(tech) / traffic(original)``,
+  the headline target the CI calibration gate rank-correlates against
+  the simulator;
+* ``log_runtime_ratio`` — log of ``modeled_seconds(tech) /
+  modeled_seconds(original)`` (exponentiated at predict time, so the
+  predicted ratio is always positive);
+* ``log_reorder_seconds`` — log pre-processing cost, which makes the
+  amortization break-even computable without running the reordering;
+
+plus one baseline model (``log_norm_runtime``: log of the original
+order's modeled seconds over the *analytic* ideal), which anchors the
+predicted ratios to absolute seconds via the closed-form compulsory
+traffic — no trace or simulation on the predict path.
+
+Everything is plain numpy normal equations; models serialize to JSON
+dicts (committed as pretrained coefficients by
+:mod:`repro.predict.pretrained`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.predict.features import FEATURE_NAMES, feature_vector
+
+#: Regularization keeping the normal equations well-posed on small
+#: corpora (features >> matrices in the "test" profile).
+DEFAULT_L2 = 1e-4
+
+#: Per-technique target names (see module docstring).
+TARGETS = ("traffic_reduction", "log_runtime_ratio", "log_reorder_seconds")
+
+#: The baseline pseudo-technique's single target.
+BASELINE_TARGET = "log_norm_runtime"
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Tie-averaged ranks (1-based), the Spearman convention."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    _, inverse, counts = np.unique(values[order], return_inverse=True, return_counts=True)
+    ends = np.cumsum(counts)
+    mean_rank = (ends - counts + 1 + ends) / 2.0
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = mean_rank[inverse]
+    return ranks
+
+
+def spearman(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation with tie-averaged ranks."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValidationError(f"length mismatch: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ValidationError("spearman needs at least two observations")
+    ra = _average_ranks(a) - (a.size + 1) / 2.0
+    rb = _average_ranks(b) - (b.size + 1) / 2.0
+    denom = math.sqrt(float((ra * ra).sum()) * float((rb * rb).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float((ra * rb).sum() / denom)
+
+
+@dataclass
+class _Linear:
+    """One standardized-feature linear model."""
+
+    coef: np.ndarray
+    intercept: float
+    mean: np.ndarray
+    scale: np.ndarray
+
+    def predict(self, x: np.ndarray) -> float:
+        z = (x - self.mean) / self.scale
+        return float(z @ self.coef + self.intercept)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "coef": [float(v) for v in self.coef],
+            "intercept": float(self.intercept),
+            "mean": [float(v) for v in self.mean],
+            "scale": [float(v) for v in self.scale],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "_Linear":
+        return cls(
+            coef=np.asarray(payload["coef"], dtype=np.float64),
+            intercept=float(payload["intercept"]),  # type: ignore[arg-type]
+            mean=np.asarray(payload["mean"], dtype=np.float64),
+            scale=np.asarray(payload["scale"], dtype=np.float64),
+        )
+
+
+def _fit_linear(X: np.ndarray, y: np.ndarray, l2: float) -> _Linear:
+    mean = X.mean(axis=0)
+    scale = X.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    Z = (X - mean) / scale
+    y_mean = float(y.mean())
+    yc = y - y_mean
+    gram = Z.T @ Z + l2 * Z.shape[0] * np.eye(Z.shape[1])
+    coef = np.linalg.solve(gram, Z.T @ yc)
+    return _Linear(coef=coef, intercept=y_mean, mean=mean, scale=scale)
+
+
+class TrafficPredictor:
+    """Per-(kernel, platform) family of technique-effect models."""
+
+    SCHEMA = 1
+
+    def __init__(
+        self,
+        kernel: str,
+        platform: str,
+        models: Dict[str, Dict[str, _Linear]],
+        baseline: _Linear,
+        feature_names: Tuple[str, ...] = FEATURE_NAMES,
+    ) -> None:
+        self.kernel = kernel
+        self.platform = platform
+        self.models = models
+        self.baseline = baseline
+        self.feature_names = tuple(feature_names)
+
+    @property
+    def techniques(self) -> Tuple[str, ...]:
+        return tuple(self.models)
+
+    # -- prediction ------------------------------------------------------
+
+    def predict_cell(self, features: Dict[str, float], technique: str) -> Dict[str, float]:
+        """Predicted effect of ``technique`` on a matrix with ``features``.
+
+        Returns ``traffic_reduction`` (fraction of baseline traffic
+        saved; negative = reordering hurts), ``runtime_ratio``
+        (reordered over baseline modeled seconds) and
+        ``reorder_seconds`` (predicted pre-processing cost).
+        """
+        per_target = self.models.get(technique)
+        if per_target is None:
+            raise ValidationError(
+                f"predictor has no model for technique {technique!r}; "
+                f"fitted: {sorted(self.models)}"
+            )
+        x = feature_vector(features)
+        return {
+            "traffic_reduction": per_target["traffic_reduction"].predict(x),
+            "runtime_ratio": math.exp(per_target["log_runtime_ratio"].predict(x)),
+            "reorder_seconds": math.exp(per_target["log_reorder_seconds"].predict(x)),
+        }
+
+    def predict_baseline_norm_runtime(self, features: Dict[str, float]) -> float:
+        """Predicted original-order ``modeled / analytic-ideal`` ratio."""
+        return math.exp(self.baseline.predict(feature_vector(features)))
+
+    # -- fitting ---------------------------------------------------------
+
+    @classmethod
+    def fit(cls, dataset, l2: float = DEFAULT_L2) -> "TrafficPredictor":
+        """Fit from a :class:`~repro.predict.dataset.PredictorDataset`."""
+        if not dataset.rows:
+            raise ValidationError("cannot fit a predictor from an empty dataset")
+        models: Dict[str, Dict[str, _Linear]] = {}
+        for technique in dataset.techniques:
+            rows = [row for row in dataset.rows if row["technique"] == technique]
+            X = np.array([feature_vector(row["features"]) for row in rows])
+            models[technique] = {
+                "traffic_reduction": _fit_linear(
+                    X, np.array([row["traffic_reduction"] for row in rows]), l2
+                ),
+                "log_runtime_ratio": _fit_linear(
+                    X, np.log([max(row["runtime_ratio"], 1e-9) for row in rows]), l2
+                ),
+                "log_reorder_seconds": _fit_linear(
+                    X, np.log([max(row["reorder_seconds"], 1e-9) for row in rows]), l2
+                ),
+            }
+        base_rows = {row["matrix"]: row for row in dataset.rows}.values()
+        Xb = np.array([feature_vector(row["features"]) for row in base_rows])
+        yb = np.log([max(row["baseline_norm_runtime"], 1e-9) for row in base_rows])
+        baseline = _fit_linear(Xb, yb, l2)
+        return cls(
+            kernel=dataset.kernel,
+            platform=dataset.platform,
+            models=models,
+            baseline=baseline,
+            feature_names=tuple(dataset.feature_names),
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": self.SCHEMA,
+            "kernel": self.kernel,
+            "platform": self.platform,
+            "feature_names": list(self.feature_names),
+            "baseline": self.baseline.to_json(),
+            "models": {
+                technique: {
+                    target: model.to_json() for target, model in per_target.items()
+                }
+                for technique, per_target in self.models.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "TrafficPredictor":
+        if payload.get("schema") != cls.SCHEMA:
+            raise ValidationError(
+                f"unsupported predictor schema {payload.get('schema')!r} "
+                f"(expected {cls.SCHEMA})"
+            )
+        names = tuple(payload["feature_names"])  # type: ignore[arg-type]
+        if names != FEATURE_NAMES:
+            raise ValidationError(
+                "predictor feature layout mismatch: payload has "
+                f"{names}, this build expects {FEATURE_NAMES}"
+            )
+        models = {
+            technique: {
+                target: _Linear.from_json(model)
+                for target, model in per_target.items()  # type: ignore[union-attr]
+            }
+            for technique, per_target in payload["models"].items()  # type: ignore[union-attr]
+        }
+        return cls(
+            kernel=str(payload["kernel"]),
+            platform=str(payload["platform"]),
+            models=models,
+            baseline=_Linear.from_json(payload["baseline"]),  # type: ignore[arg-type]
+            feature_names=names,
+        )

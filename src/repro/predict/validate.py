@@ -1,0 +1,134 @@
+"""Fit + validate the predictor against the simulator (the CI gate).
+
+Two numbers come out of a validation run:
+
+* ``spearman_fit`` — rank correlation between predicted and
+  simulator-measured traffic reduction across every
+  (matrix, technique) cell, with the model fitted on all cells.  This
+  is the *calibration* lock the CI gate enforces (ISSUE 8 acceptance:
+  >= 0.8): if the cheap features cannot even rank the cells they were
+  fitted on, they carry no signal worth serving.
+* ``spearman_loo`` — the same correlation under leave-one-matrix-out
+  refits, an honest (if noisy, on the 6-matrix test corpus)
+  generalization estimate.  Reported, not gated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.experiments.runner import ExperimentRunner
+from repro.predict.dataset import DEFAULT_TECHNIQUES, PredictorDataset, build_dataset
+from repro.predict.model import DEFAULT_L2, TrafficPredictor, spearman
+
+#: CI floor on the calibration rank correlation.
+DEFAULT_MIN_SPEARMAN = 0.8
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of one fit-and-validate pass."""
+
+    kernel: str
+    platform: str
+    n_matrices: int
+    n_cells: int
+    spearman_fit: float
+    spearman_loo: float
+    per_technique: Dict[str, float] = field(default_factory=dict)
+    min_spearman: float = DEFAULT_MIN_SPEARMAN
+
+    @property
+    def passed(self) -> bool:
+        return self.spearman_fit >= self.min_spearman
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kernel": self.kernel,
+            "platform": self.platform,
+            "n_matrices": self.n_matrices,
+            "n_cells": self.n_cells,
+            "spearman_fit": self.spearman_fit,
+            "spearman_loo": self.spearman_loo,
+            "per_technique": self.per_technique,
+            "min_spearman": self.min_spearman,
+            "passed": self.passed,
+        }
+
+
+def _predicted_reductions(predictor: TrafficPredictor, rows) -> list:
+    return [
+        predictor.predict_cell(row["features"], str(row["technique"]))["traffic_reduction"]
+        for row in rows
+    ]
+
+
+def fit_predictor(
+    profile: str = "test",
+    kernel: str = "spmv-csr",
+    techniques: Sequence[str] = DEFAULT_TECHNIQUES,
+    runner: Optional[ExperimentRunner] = None,
+    cache_dir: Optional[str] = None,
+    l2: float = DEFAULT_L2,
+) -> TrafficPredictor:
+    """Build the corpus dataset for ``profile`` and fit a predictor."""
+    runner = runner if runner is not None else ExperimentRunner(profile, cache_dir=cache_dir)
+    dataset = build_dataset(runner, kernel=kernel, techniques=techniques)
+    return TrafficPredictor.fit(dataset, l2=l2)
+
+
+def fit_and_validate(
+    profile: str = "test",
+    kernel: str = "spmv-csr",
+    techniques: Sequence[str] = DEFAULT_TECHNIQUES,
+    min_spearman: float = DEFAULT_MIN_SPEARMAN,
+    runner: Optional[ExperimentRunner] = None,
+    cache_dir: Optional[str] = None,
+    l2: float = DEFAULT_L2,
+) -> Tuple[TrafficPredictor, ValidationResult]:
+    """Fit on the corpus, rank-correlate against the simulator."""
+    runner = runner if runner is not None else ExperimentRunner(profile, cache_dir=cache_dir)
+    dataset = build_dataset(runner, kernel=kernel, techniques=techniques)
+    if len(dataset.matrices) < 2:
+        raise ValidationError(
+            f"profile {profile!r} has {len(dataset.matrices)} matrices; "
+            "validation needs at least 2"
+        )
+    predictor = TrafficPredictor.fit(dataset, l2=l2)
+
+    measured = [float(row["traffic_reduction"]) for row in dataset.rows]
+    predicted = _predicted_reductions(predictor, dataset.rows)
+    spearman_fit = spearman(predicted, measured)
+
+    per_technique: Dict[str, float] = {}
+    for technique in dataset.techniques:
+        rows = [row for row in dataset.rows if row["technique"] == technique]
+        if len(rows) >= 2:
+            per_technique[technique] = spearman(
+                _predicted_reductions(predictor, rows),
+                [float(row["traffic_reduction"]) for row in rows],
+            )
+
+    loo_predicted = []
+    loo_measured = []
+    matrices = dataset.matrices
+    for held_out in matrices:
+        train = dataset.restrict([m for m in matrices if m != held_out])
+        test = dataset.restrict([held_out])
+        fold = TrafficPredictor.fit(train, l2=max(l2, 1e-2))
+        loo_predicted.extend(_predicted_reductions(fold, test.rows))
+        loo_measured.extend(float(row["traffic_reduction"]) for row in test.rows)
+
+    result = ValidationResult(
+        kernel=kernel,
+        platform=runner.platform.name,
+        n_matrices=len(matrices),
+        n_cells=len(dataset.rows),
+        spearman_fit=spearman_fit,
+        spearman_loo=spearman(loo_predicted, loo_measured),
+        per_technique=per_technique,
+        min_spearman=min_spearman,
+    )
+    return predictor, result

@@ -15,6 +15,15 @@ connection, no new dependencies) exposing:
   headers (``json.dumps(..., sort_keys=True)`` keeps the rendering
   canonical).
 
+* ``POST /v1/recommend`` (and ``GET /v1/recommend?matrix=...``) — the
+  predictor-backed "is reordering worth it?" endpoint
+  (:meth:`~repro.serve.service.ReorderService.handle_recommend`).
+  Accepts the ``matrix``/``mtx``/``kernel``/``iterations``/
+  ``deadline_seconds`` subset of the reorder schema (GET takes
+  ``matrix``, ``kernel`` and ``iterations`` as query parameters) and
+  answers without computing a single candidate reordering;
+  ``X-Repro-Store`` is always ``predicted``.
+
 * ``GET /health`` — liveness probe.
 * ``GET /stats`` — store/coalescing stats plus the live counter and
   histogram snapshot (``serve.request.hit`` / ``serve.request.miss``
@@ -32,7 +41,8 @@ from __future__ import annotations
 import json
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import CellTimeoutError, CorpusError, ValidationError
 from repro.obs import get_obs, logger
@@ -94,26 +104,52 @@ class ServeHandler(BaseHTTPRequestHandler):
                 },
             )
             return
+        parsed = urlsplit(self.path)
+        if parsed.path == "/v1/recommend":
+            request: Dict[str, object] = {
+                key: values[-1] for key, values in parse_qs(parsed.query).items()
+            }
+            for key, cast in (("iterations", int), ("deadline_seconds", float)):
+                if key in request:
+                    try:
+                        request[key] = cast(request[key])  # type: ignore[call-overload]
+                    except (TypeError, ValueError):
+                        self._send_error_json(
+                            400, f"query parameter {key!r} must be a number"
+                        )
+                        return
+            self._dispatch(self.service.handle_recommend, request)
+            return
         self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     # -- POST -------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path != "/v1/reorder":
+        handlers: Dict[str, Callable] = {
+            "/v1/reorder": self.service.handle,
+            "/v1/recommend": self.service.handle_recommend,
+        }
+        handler = handlers.get(self.path)
+        if handler is None:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
         body = self._read_body()
         if body is None:
             return  # error response already sent
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_json(400, f"request body is not valid JSON: {exc}")
+            return
+        self._dispatch(handler, request)
+
+    def _dispatch(self, handler: Callable, request: object) -> None:
+        """Run one service call with the shared error mapping."""
         started = time.monotonic()
         obs = get_obs()
         try:
             with obs.span("serve-request"):
-                request = json.loads(body.decode("utf-8"))
-                result = self.service.handle(request)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            self._send_error_json(400, f"request body is not valid JSON: {exc}")
-            return
+                result = handler(request)
         except ValidationError as exc:
             self._send_error_json(400, str(exc))
             return

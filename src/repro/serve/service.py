@@ -7,7 +7,9 @@ existing simulator.  It is deliberately free of HTTP concerns so the
 integration tests can drive it directly and the stdlib HTTP front end
 (:mod:`repro.serve.httpd`) stays a thin adapter.
 
-Request schema (all fields optional unless noted)::
+Request schema, wire version ``"v": 1`` (all fields optional unless
+noted; unknown top-level keys are rejected with a 400 naming the
+key)::
 
     {
       "matrix": "soc-forum",          # corpus name ... or:
@@ -24,8 +26,17 @@ Technique selection (``"auto"``) follows the amortization framing of
 arXiv 2506.10356 — reordering is only worth paying for if the
 per-iteration saving covers the one-time reordering cost within the
 requested iteration horizon — and prefers cheap orderings when they
-suffice (arXiv 2001.08448): candidates are tried lightweight-first and
-a cheaper ordering within 1% of the best total cost wins.
+suffice (arXiv 2001.08448): candidates are ordered lightweight-first
+and a cheaper ordering within 1% of the best total cost wins.
+
+Since wire version 1 the auto recommendation is *predicted*, not
+measured: the structural effectiveness predictor
+(:mod:`repro.predict`) maps one community detection plus closed-form
+compulsory traffic to per-candidate modeled seconds, so choosing a
+technique computes **zero** candidate reorderings and zero cache
+simulations (``serve.compute.*`` counters stay untouched).  Only the
+chosen technique is then evaluated — and ``/v1/recommend``
+(:meth:`ReorderService.handle_recommend`) skips even that.
 
 Responses are *deterministic* given the store contents: a store hit is
 byte-identical to the miss response that created the entry, because
@@ -48,8 +59,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.api import recommendation_from_features
 from repro.errors import ValidationError
-from repro.gpu.amortization import amortization_iterations
 from repro.gpu.perf import model_run
 from repro.gpu.specs import PlatformSpec, scaled_platform
 from repro.graphs.corpus import PROFILES, load_graph
@@ -70,6 +81,10 @@ from repro.trace.kernelspec import KernelSpec
 #: Response/entry payload schema; bump on incompatible layout changes.
 RESPONSE_SCHEMA = 1
 
+#: Wire version of the request/response format, carried as ``"v"`` in
+#: every response body so clients can pin what they parse.
+WIRE_VERSION = 1
+
 #: The no-reordering baseline the amortization comparison runs against.
 BASELINE_TECHNIQUE = "original"
 
@@ -77,9 +92,26 @@ BASELINE_TECHNIQUE = "original"
 #: (arXiv 2001.08448: prefer cheap orderings when they suffice).
 DEFAULT_CANDIDATES = ("degsort", "rcm", "rabbit", "rabbit++")
 
-#: A cheaper-to-compute candidate within this fraction of the best
-#: total cost wins the recommendation.
-_CHEAP_TOLERANCE = 0.01
+#: The complete ``/v1/reorder`` request vocabulary; anything else is a
+#: 400 naming the offending key.
+ALLOWED_KEYS = frozenset(
+    (
+        "matrix",
+        "mtx",
+        "technique",
+        "kernel",
+        "policy",
+        "iterations",
+        "deadline_seconds",
+        "include_permutation",
+    )
+)
+
+#: The ``/v1/recommend`` request vocabulary (prediction needs no
+#: policy, permutation or technique).
+RECOMMEND_KEYS = frozenset(
+    ("matrix", "mtx", "kernel", "iterations", "deadline_seconds")
+)
 
 
 @dataclass(frozen=True)
@@ -133,6 +165,13 @@ class ReorderService:
         self._flight = SingleFlight()
         self._graph_lock = threading.Lock()
         self._corpus_graphs: Dict[str, Tuple[Graph, str]] = {}
+        self._predict_lock = threading.Lock()
+        #: digest -> structural feature dict (one detection per matrix).
+        self._features: Dict[str, Dict[str, float]] = {}
+        #: (digest, kernel) -> analytic ideal seconds.
+        self._ideal: Dict[Tuple[str, str], float] = {}
+        #: kernel -> effectiveness predictor (pretrained or lazily fit).
+        self._predictors: Dict[str, object] = {}
 
     # -- request entry point --------------------------------------------
 
@@ -146,6 +185,7 @@ class ReorderService:
         """
         if not isinstance(request, dict):
             raise ValidationError("request body must be a JSON object")
+        self._reject_unknown_keys(request, ALLOWED_KEYS)
         technique = self._str_field(
             request, "technique", self.config.default_technique
         )
@@ -191,13 +231,14 @@ class ReorderService:
             recommendation = None
             if technique == "auto":
                 technique, recommendation = self._recommend(
-                    graph, digest, kernel, policy, iterations
+                    graph, digest, kernel, iterations
                 )
             payload, store_state = self._evaluate(
                 graph, digest, technique, kernel, policy
             )
 
         body: Dict[str, object] = {
+            "v": WIRE_VERSION,
             "schema": RESPONSE_SCHEMA,
             "matrix": {
                 "name": name,
@@ -351,74 +392,150 @@ class ReorderService:
         result, _led = self._flight.do(f"perm:{key}", compute)
         return result
 
-    # -- technique recommendation ---------------------------------------
+    # -- technique recommendation (predictor-backed) ---------------------
+
+    def handle_recommend(self, request: Dict[str, object]) -> ServeResult:
+        """Serve one ``/v1/recommend`` request.
+
+        Pure prediction: resolves the matrix, extracts structural
+        features (one community detection, cached per structure
+        digest), and runs the candidate list through the effectiveness
+        predictor.  No permutation is computed, no trace is built, no
+        cache is simulated — the ``serve.compute.*`` counters never
+        move on this path.
+        """
+        if not isinstance(request, dict):
+            raise ValidationError("request body must be a JSON object")
+        self._reject_unknown_keys(request, RECOMMEND_KEYS)
+        kernel = self._str_field(request, "kernel", self.config.default_kernel)
+        KernelSpec.parse(kernel)
+        iterations = request.get("iterations", self.config.default_iterations)
+        if not isinstance(iterations, int) or isinstance(iterations, bool) or iterations < 1:
+            raise ValidationError(
+                f"iterations must be a positive integer, got {iterations!r}"
+            )
+        deadline = request.get(
+            "deadline_seconds", self.config.default_deadline_seconds
+        )
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise ValidationError(
+                f"deadline_seconds must be a positive number, got {deadline!r}"
+            )
+        name = request.get("matrix")
+        mtx = request.get("mtx")
+        if (name is None) == (mtx is None):
+            raise ValidationError(
+                "request needs exactly one of 'matrix' (corpus name) or "
+                "'mtx' (MatrixMarket text)"
+            )
+        with cell_deadline(deadline, f"recommend:{name or 'upload'}"):
+            with get_obs().span("serve-load", matrix=name or "upload"):
+                graph, digest = self._resolve_graph(name, mtx)
+            check_deadline()
+            chosen, recommendation = self._recommend(
+                graph, digest, kernel, iterations
+            )
+        body: Dict[str, object] = {
+            "v": WIRE_VERSION,
+            "schema": RESPONSE_SCHEMA,
+            "matrix": {
+                "name": name,
+                "digest": digest,
+                "n_nodes": graph.n_nodes,
+                "nnz": graph.adjacency.nnz,
+            },
+            "kernel": kernel,
+            "platform": self.platform.name,
+            "iterations": iterations,
+            "technique": chosen,
+            "recommendation": recommendation,
+        }
+        return ServeResult(payload=body, store="predicted")
 
     def _recommend(
         self,
         graph: Graph,
         digest: str,
         kernel: str,
-        policy: str,
         iterations: int,
     ) -> Tuple[str, Dict[str, object]]:
-        """Amortization-framed technique choice over the candidate list.
+        """Predicted amortization-framed technique choice.
 
-        Total cost of a candidate over the horizon is
-        ``reorder_seconds + iterations * modeled_seconds``; the
-        baseline (no reordering) costs ``iterations *
-        baseline_modeled_seconds``.  The cheapest-to-compute candidate
-        within :data:`_CHEAP_TOLERANCE` of the best total wins; if no
-        candidate beats the baseline, reordering is not worth paying
-        for and the baseline order is returned.
+        Delegates the cost comparison to
+        :func:`repro.api.recommendation_from_features`: total candidate
+        cost over the horizon is ``reorder_seconds + iterations *
+        modeled_seconds`` — all four numbers per candidate predicted
+        from structural features, so no candidate reordering or
+        simulation runs here.
         """
-        baseline, _ = self._evaluate(
-            graph, digest, BASELINE_TECHNIQUE, kernel, policy
-        )
-        baseline_seconds = float(baseline["model"]["modeled_seconds"])  # type: ignore[index]
-        baseline_total = iterations * baseline_seconds
-        rows = []
-        for candidate in self.config.candidates:
+        with get_obs().span("serve-recommend", kernel=kernel):
+            predictor = self._predictor(kernel)
+            features = self._features_for(graph, digest)
             check_deadline()
-            payload, _ = self._evaluate(graph, digest, candidate, kernel, policy)
-            reorder_seconds = float(payload["reorder_seconds"])  # type: ignore[arg-type]
-            modeled = float(payload["model"]["modeled_seconds"])  # type: ignore[index]
-            amort = amortization_iterations(
-                reorder_seconds, baseline_seconds, modeled
+            ideal_key = (digest, kernel)
+            with self._predict_lock:
+                ideal = self._ideal.get(ideal_key)
+            if ideal is None:
+                from repro.predict.features import analytic_ideal_seconds
+
+                ideal = analytic_ideal_seconds(graph, kernel, self.platform)
+                with self._predict_lock:
+                    self._ideal[ideal_key] = ideal
+            recommendation = recommendation_from_features(
+                predictor,
+                features,
+                ideal,
+                iterations=iterations,
+                candidates=self.config.candidates,
             )
-            rows.append(
-                {
-                    "technique": candidate,
-                    "reorder_seconds": reorder_seconds,
-                    "modeled_seconds": modeled,
-                    "normalized_runtime": payload["model"]["normalized_runtime"],  # type: ignore[index]
-                    "total_seconds": reorder_seconds + iterations * modeled,
-                    "amortization_iterations": (
-                        None if amort == float("inf") else amort
-                    ),
-                }
-            )
-        best_total = min(float(row["total_seconds"]) for row in rows)
-        chosen = BASELINE_TECHNIQUE
-        worth_it = best_total < baseline_total
-        if worth_it:
-            for row in rows:  # candidates are ordered lightweight-first
-                if float(row["total_seconds"]) <= best_total * (1 + _CHEAP_TOLERANCE):
-                    chosen = str(row["technique"])
-                    break
-        recommendation: Dict[str, object] = {
-            "iterations": iterations,
-            "baseline": {
-                "technique": BASELINE_TECHNIQUE,
-                "modeled_seconds": baseline_seconds,
-                "total_seconds": baseline_total,
-            },
-            "candidates": rows,
-            "reorder_worth_it": worth_it,
-            "chosen": chosen,
-        }
-        return chosen, recommendation
+        return recommendation.chosen, recommendation.to_json()
+
+    def _features_for(self, graph: Graph, digest: str) -> Dict[str, float]:
+        with self._predict_lock:
+            cached = self._features.get(digest)
+        if cached is not None:
+            return cached
+        from repro.predict.features import structural_features
+
+        with get_obs().span("serve-features", digest=digest[:12]):
+            features = structural_features(graph, self.platform)
+        with self._predict_lock:
+            self._features[digest] = features
+        return features
+
+    def _predictor(self, kernel: str):
+        """Per-kernel predictor: pretrained coefficients, else one fit.
+
+        Pretrained sets are committed for the common (profile, kernel)
+        pairs; the fallback fit runs the profile corpus through the
+        memoized experiment runner (slow once, then disk-cached).
+        """
+        with self._predict_lock:
+            cached = self._predictors.get(kernel)
+        if cached is not None:
+            return cached
+        from repro.predict.pretrained import load_pretrained
+
+        predictor = load_pretrained(self.config.profile, kernel)
+        if predictor is None:
+            from repro.predict.validate import fit_predictor
+
+            predictor = fit_predictor(profile=self.config.profile, kernel=kernel)
+        with self._predict_lock:
+            return self._predictors.setdefault(kernel, predictor)
 
     # -- misc ------------------------------------------------------------
+
+    @staticmethod
+    def _reject_unknown_keys(request: Dict[str, object], allowed) -> None:
+        for key in request:
+            if key not in allowed:
+                raise ValidationError(
+                    f"unknown request key {key!r}; allowed keys: "
+                    f"{', '.join(sorted(allowed))}"
+                )
 
     @staticmethod
     def _str_field(request: Dict[str, object], key: str, default: str) -> str:

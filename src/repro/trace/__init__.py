@@ -12,6 +12,8 @@ line are collapsed (they hit trivially and only slow the simulator).
 from repro.trace.layout import AddressSpace, Region
 from repro.trace.kernel_traces import (
     KernelTrace,
+    spgemm_csr_structure,
+    spgemm_csr_trace,
     spmm_csr_trace,
     spmv_coo_trace,
     spmv_csc_trace,
@@ -27,6 +29,8 @@ __all__ = [
     "Region",
     "kernel_kinds",
     "register_kernel",
+    "spgemm_csr_structure",
+    "spgemm_csr_trace",
     "spmm_csr_trace",
     "spmv_coo_trace",
     "spmv_csc_trace",

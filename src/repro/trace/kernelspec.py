@@ -26,6 +26,7 @@ from repro.sparse.coo import COOMatrix
 from repro.sparse.convert import csr_to_coo
 from repro.trace.kernel_traces import (
     KernelTrace,
+    spgemm_csr_trace,
     spmm_csr_trace,
     spmv_coo_trace,
     spmv_csc_trace,
@@ -162,7 +163,18 @@ def _build_spmm_csr(matrix, k, line_bytes, element_bytes, schedule, n_partitions
     return spmm_csr_trace(matrix, k=k, element_bytes=element_bytes, line_bytes=line_bytes)
 
 
+def _build_spgemm_csr(matrix, k, line_bytes, element_bytes, schedule, n_partitions):
+    return spgemm_csr_trace(
+        matrix,
+        element_bytes=element_bytes,
+        line_bytes=line_bytes,
+        schedule=schedule,
+        n_partitions=n_partitions,
+    )
+
+
 register_kernel("spmv-csr", _build_spmv_csr)
 register_kernel("spmv-coo", _build_spmv_coo)
 register_kernel("spmv-csc", _build_spmv_csc)
 register_kernel("spmm-csr", _build_spmm_csr, parametric=True)
+register_kernel("spgemm-csr", _build_spgemm_csr)

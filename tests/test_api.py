@@ -7,6 +7,8 @@ from repro import (
     evaluate_ordering,
     load_graph,
     make_technique,
+    recommend,
+    reorder_and_evaluate,
     reorder_matrix,
 )
 from repro.gpu.specs import scaled_platform
@@ -58,6 +60,62 @@ class TestEvaluateOrdering:
         lru = evaluate_ordering(graph, platform=platform, policy="lru")
         opt = evaluate_ordering(graph, platform=platform, policy="belady")
         assert opt.stats.misses <= lru.stats.misses
+
+    def test_accepts_technique_name_for_permutation(self):
+        graph = load_graph("test-comm")
+        platform = scaled_platform("test")
+        perm = make_technique("rcm").compute(graph)
+        by_perm = evaluate_ordering(graph, perm, platform=platform)
+        by_name = evaluate_ordering(graph, "rcm", platform=platform)
+        by_instance = evaluate_ordering(
+            graph, make_technique("rcm"), platform=platform
+        )
+        assert by_name.traffic_bytes == by_perm.traffic_bytes
+        assert by_instance.traffic_bytes == by_perm.traffic_bytes
+
+
+class TestReorderAndEvaluate:
+    def test_full_round_trip(self):
+        graph = load_graph("test-comm")
+        result = reorder_and_evaluate(
+            graph, "rabbit", platform=scaled_platform("test")
+        )
+        assert result.technique == "rabbit"
+        assert sorted(result.permutation) == list(range(graph.n_nodes))
+        assert result.matrix.nnz == graph.adjacency.nnz
+        assert result.reorder_seconds > 0
+        assert result.baseline is not None
+        assert result.speedup == pytest.approx(
+            result.baseline.modeled_seconds / result.model.modeled_seconds
+        )
+        assert result.break_even_iterations is not None
+
+    def test_without_baseline(self):
+        graph = load_graph("test-mesh")
+        result = reorder_and_evaluate(
+            graph,
+            "degsort",
+            platform=scaled_platform("test"),
+            compare_baseline=False,
+        )
+        assert result.baseline is None
+        assert result.speedup is None
+        assert result.break_even_iterations is None
+
+
+class TestRecommend:
+    def test_predictor_backed_recommendation(self):
+        graph = load_graph("test-comm")
+        rec = recommend(graph, kernel="spmv-csr", profile="test", iterations=100)
+        assert rec.iterations == 100
+        assert rec.baseline_seconds > 0
+        assert rec.candidates
+        for row in rec.candidates:
+            assert row["total_seconds"] == pytest.approx(
+                row["reorder_seconds"] + 100 * row["modeled_seconds"]
+            )
+        if not rec.reorder_worth_it:
+            assert rec.chosen == "original"
 
 
 class TestPublicNamespace:

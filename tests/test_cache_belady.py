@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.cache import next_use_index, simulate_belady
+from repro.cache import next_use_index, simulate
 from repro.cache.config import CacheConfig
-from repro.cache import compulsory_misses, simulate_lru
+from repro.cache import compulsory_misses, simulate
 
 
 def tiny_cache(ways=2, sets=1):
@@ -32,8 +32,8 @@ class TestOptimality:
         # Trace: a b c a b; OPT evicts c's victim wisely.
         a, b, c = 0, 2, 4
         trace = np.asarray([a, b, c, a, b])
-        opt = simulate_belady(trace, tiny_cache(ways=2))
-        lru = simulate_lru(trace, tiny_cache(ways=2))
+        opt = simulate(trace, tiny_cache(ways=2), policy="belady")
+        lru = simulate(trace, tiny_cache(ways=2))
         # OPT with bypass: c has no future use, so it is inserted and
         # immediately evicted (bypass), leaving a and b resident — both
         # re-accesses hit: 3 misses.  LRU thrashes: 5 misses.
@@ -46,28 +46,28 @@ class TestOptimality:
         config = CacheConfig(capacity_bytes=1024, line_bytes=32, ways=4)
         for seed in range(5):
             trace = np.random.default_rng(seed).integers(0, 60, 3000)
-            opt = simulate_belady(trace, config)
-            lru = simulate_lru(trace, config)
+            opt = simulate(trace, config, policy="belady")
+            lru = simulate(trace, config)
             assert opt.misses <= lru.misses
 
     def test_at_least_compulsory(self):
         trace = np.random.default_rng(1).integers(0, 64, 2000)
         config = CacheConfig(capacity_bytes=512, line_bytes=32, ways=4)
-        opt = simulate_belady(trace, config)
+        opt = simulate(trace, config, policy="belady")
         assert opt.misses >= compulsory_misses(trace)
 
     def test_infinite_cache_equals_compulsory(self):
         trace = np.random.default_rng(2).integers(0, 40, 1000)
         config = CacheConfig(capacity_bytes=64 * 1024, line_bytes=32, ways=2048)
-        assert simulate_belady(trace, config).misses == compulsory_misses(trace)
+        assert simulate(trace, config, policy="belady").misses == compulsory_misses(trace)
 
     def test_consistency(self):
         trace = np.random.default_rng(3).integers(0, 50, 2000)
-        stats = simulate_belady(trace, tiny_cache(ways=4))
+        stats = simulate(trace, tiny_cache(ways=4), policy="belady")
         stats.check_consistency()
 
     def test_empty_trace(self):
-        stats = simulate_belady(np.asarray([], dtype=np.int64), tiny_cache())
+        stats = simulate(np.asarray([], dtype=np.int64), tiny_cache(), policy="belady")
         assert stats.accesses == 0
 
 
@@ -77,7 +77,7 @@ class TestBypass:
         a, b = 0, 2
         stream = [4, 6, 8, 10]  # single-use lines
         trace = np.asarray([a, b] + stream + [a, b])
-        stats = simulate_belady(trace, tiny_cache(ways=2))
+        stats = simulate(trace, tiny_cache(ways=2), policy="belady")
         # a and b stay resident; every stream line misses once.
         assert stats.misses == 2 + len(stream)
         assert stats.hits == 2

@@ -16,8 +16,10 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.cache import CacheConfig, simulate, simulate_belady, simulate_lru
+from repro.cache import CacheConfig, simulate
+from repro.cache.belady import _simulate_belady
 from repro.cache.fast import simulate_belady_fast, simulate_lru_fast
+from repro.cache.lru import _simulate_lru
 from repro.gpu.specs import scaled_platform
 from repro.graphs.corpus import load_graph
 from repro.trace.kernelspec import KernelSpec
@@ -35,7 +37,7 @@ GEOMETRIES = [
     (64, 16),
 ]
 
-REFERENCE = {"lru": simulate_lru, "belady": simulate_belady}
+REFERENCE = {"lru": _simulate_lru, "belady": _simulate_belady}
 FAST = {"lru": simulate_lru_fast, "belady": simulate_belady_fast}
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cache.config import CacheConfig
 from repro.cache.hierarchy import simulate_hierarchy
-from repro.cache import simulate_lru
+from repro.cache import simulate
 from repro.errors import ValidationError
 
 
@@ -47,7 +47,7 @@ class TestBehaviour:
         trace = rng.integers(0, 30, 3000)
         l1, l2 = configs()
         hierarchy = simulate_hierarchy(trace, l1, l2)
-        flat = simulate_lru(trace, l2)
+        flat = simulate(trace, l2)
         assert hierarchy.l2.misses >= flat.misses  # L1 filtering removes recency info
         assert hierarchy.l2.misses <= flat.misses * 3
 

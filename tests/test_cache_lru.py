@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cache.config import CacheConfig
-from repro.cache import classify_misses, compulsory_misses, simulate_lru
+from repro.cache import classify_misses, compulsory_misses, simulate
 
 
 def tiny_cache(ways=2, sets=2):
@@ -13,37 +13,37 @@ def tiny_cache(ways=2, sets=2):
 
 class TestHandTraces:
     def test_all_hits_after_first(self):
-        stats = simulate_lru(np.asarray([0, 0, 0, 0]), tiny_cache())
+        stats = simulate(np.asarray([0, 0, 0, 0]), tiny_cache())
         assert stats.misses == 1
         assert stats.hits == 3
 
     def test_distinct_lines_all_miss(self):
         # 4 distinct lines in a 2-way, 2-set cache: exactly fills it.
-        stats = simulate_lru(np.asarray([0, 1, 2, 3]), tiny_cache())
+        stats = simulate(np.asarray([0, 1, 2, 3]), tiny_cache())
         assert stats.misses == 4
         assert stats.evictions == 0
 
     def test_lru_eviction_order(self):
         # Set 0 (even lines), 2 ways: access 0, 2, 4 evicts 0.
         trace = np.asarray([0, 2, 4, 0])
-        stats = simulate_lru(trace, tiny_cache())
+        stats = simulate(trace, tiny_cache())
         assert stats.misses == 4  # the re-access of 0 misses again
 
     def test_mru_protects_recent(self):
         # 0, 2, 0, 4 -> evicts 2 (LRU), so 0 still hits afterwards.
         trace = np.asarray([0, 2, 0, 4, 0])
-        stats = simulate_lru(trace, tiny_cache())
+        stats = simulate(trace, tiny_cache())
         assert stats.misses == 3
         assert stats.hits == 2
 
     def test_sets_are_independent(self):
         # Lines 0, 2, 4 map to set 0; line 1 maps to set 1.
         trace = np.asarray([0, 2, 4, 1, 0])
-        stats = simulate_lru(trace, tiny_cache())
+        stats = simulate(trace, tiny_cache())
         assert stats.misses == 5  # line 0 was evicted from set 0
 
     def test_empty_trace(self):
-        stats = simulate_lru(np.asarray([], dtype=np.int64), tiny_cache())
+        stats = simulate(np.asarray([], dtype=np.int64), tiny_cache())
         assert stats.accesses == 0
         assert stats.misses == 0
         assert stats.hit_rate == 0.0
@@ -54,17 +54,17 @@ class TestDeadLines:
         # Stream of distinct lines: every evicted line is dead, and the
         # resident leftovers are dead too.
         trace = np.arange(0, 64, 2)  # 32 lines through set 0 and 1? even lines -> set 0
-        stats = simulate_lru(trace, tiny_cache())
+        stats = simulate(trace, tiny_cache())
         assert stats.dead_lines == stats.misses
 
     def test_reused_lines_not_dead(self):
         trace = np.asarray([0, 0, 1, 1])
-        stats = simulate_lru(trace, tiny_cache())
+        stats = simulate(trace, tiny_cache())
         assert stats.dead_lines == 0
 
     def test_dead_fraction(self):
         trace = np.asarray([0, 0, 2])  # 0 reused, 2 dead at end
-        stats = simulate_lru(trace, tiny_cache())
+        stats = simulate(trace, tiny_cache())
         assert stats.dead_line_fraction == pytest.approx(0.5)
 
 
@@ -72,7 +72,7 @@ class TestAccounting:
     def test_consistency_identities(self):
         rng = np.random.default_rng(0)
         trace = rng.integers(0, 50, 2000)
-        stats = simulate_lru(trace, tiny_cache())
+        stats = simulate(trace, tiny_cache())
         stats.check_consistency()  # raises on violation
         assert stats.hits + stats.misses == stats.accesses
         assert stats.traffic_bytes == stats.misses * 32
@@ -80,21 +80,21 @@ class TestAccounting:
     def test_misses_at_least_compulsory(self):
         rng = np.random.default_rng(1)
         trace = rng.integers(0, 100, 3000)
-        stats = simulate_lru(trace, tiny_cache())
+        stats = simulate(trace, tiny_cache())
         assert stats.misses >= compulsory_misses(trace)
 
     def test_larger_cache_never_more_misses(self):
         """LRU inclusion property at fixed associativity layout."""
         rng = np.random.default_rng(2)
         trace = rng.integers(0, 64, 4000)
-        small = simulate_lru(trace, CacheConfig(capacity_bytes=512, line_bytes=32, ways=16))
-        large = simulate_lru(trace, CacheConfig(capacity_bytes=1024, line_bytes=32, ways=32))
+        small = simulate(trace, CacheConfig(capacity_bytes=512, line_bytes=32, ways=16))
+        large = simulate(trace, CacheConfig(capacity_bytes=1024, line_bytes=32, ways=32))
         assert large.misses <= small.misses
 
     def test_infinite_cache_only_compulsory(self):
         rng = np.random.default_rng(3)
         trace = rng.integers(0, 40, 1000)
-        huge = simulate_lru(
+        huge = simulate(
             trace, CacheConfig(capacity_bytes=64 * 1024, line_bytes=32, ways=2048)
         )
         assert huge.misses == compulsory_misses(trace)
@@ -104,7 +104,7 @@ class TestRegionClassification:
     def test_split_sums_to_misses(self):
         trace = np.asarray([0, 10, 20, 0, 10, 20])
         regions = [("a", 0, 5), ("b", 5, 15)]
-        stats = simulate_lru(trace, tiny_cache(), regions=regions)
+        stats = simulate(trace, tiny_cache(), regions=regions)
         assert sum(stats.region_misses.values()) == stats.misses
         assert "other" in stats.region_misses  # line 20 unclaimed
 

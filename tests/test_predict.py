@@ -1,0 +1,177 @@
+"""Effectiveness predictor: features, model math, the calibration lock
+(Spearman >= 0.8 against the simulator), and pretrained coefficients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import recommend
+from repro.errors import ValidationError
+from repro.experiments.runner import ExperimentRunner
+from repro.gpu.specs import scaled_platform
+from repro.graphs.corpus import load_graph
+from repro.predict import (
+    FEATURE_NAMES,
+    TrafficPredictor,
+    analytic_compulsory_bytes,
+    build_dataset,
+    feature_vector,
+    fit_and_validate,
+    load_pretrained,
+    pretrained_pairs,
+    spearman,
+    structural_features,
+)
+from repro.predict.validate import DEFAULT_MIN_SPEARMAN
+from repro.trace.kernelspec import KernelSpec
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(
+        "test", cache_dir=str(tmp_path_factory.mktemp("memo"))
+    )
+
+
+class TestSpearman:
+    def test_perfect_and_inverted(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_ties_are_averaged(self):
+        rho = spearman([1, 1, 2, 3], [1, 2, 3, 4])
+        assert -1.0 <= rho <= 1.0
+        assert rho == pytest.approx(spearman([1, 1, 2, 3], [2, 1, 3, 4]))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            spearman([1], [2])
+        with pytest.raises(ValidationError):
+            spearman([1, 2], [1, 2, 3])
+
+    def test_constant_input_is_zero(self):
+        assert spearman([5, 5, 5], [1, 2, 3]) == 0.0
+
+
+class TestFeatures:
+    def test_feature_dict_is_complete_and_finite(self):
+        graph = load_graph("test-comm")
+        features = structural_features(graph, scaled_platform("test"))
+        assert set(features) == set(FEATURE_NAMES)
+        vec = feature_vector(features)
+        assert vec.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(vec))
+
+    def test_feature_vector_rejects_missing_keys(self):
+        with pytest.raises(ValidationError, match="log_nodes"):
+            feature_vector({})
+
+    def test_analytic_compulsory_matches_trace(self):
+        csr = load_graph("test-mesh").adjacency
+        for kernel in ("spmv-csr", "spmv-coo", "spmm-csr-4", "spgemm-csr"):
+            trace = KernelSpec.parse(kernel).build_trace(csr, line_bytes=32)
+            assert (
+                analytic_compulsory_bytes(csr, kernel)
+                == trace.analytic_compulsory_bytes
+            ), kernel
+
+
+class TestCalibrationLock:
+    """The ISSUE 8 acceptance gate, locked in-tree."""
+
+    def test_spearman_floor_spmv(self, runner):
+        predictor, result = fit_and_validate(runner=runner, kernel="spmv-csr")
+        assert result.n_matrices >= 2
+        assert result.spearman_fit >= DEFAULT_MIN_SPEARMAN
+        assert result.passed
+        assert set(predictor.techniques) == set(result.per_technique)
+
+    def test_spearman_floor_spgemm(self, runner):
+        _, result = fit_and_validate(runner=runner, kernel="spgemm-csr")
+        assert result.spearman_fit >= DEFAULT_MIN_SPEARMAN
+
+    def test_validation_payload(self, runner):
+        _, result = fit_and_validate(runner=runner, kernel="spmv-csr")
+        payload = result.to_json()
+        assert payload["passed"] is True
+        assert payload["kernel"] == "spmv-csr"
+        assert -1.0 <= payload["spearman_loo"] <= 1.0
+
+
+class TestModelSerialization:
+    def test_json_roundtrip_preserves_predictions(self, runner):
+        dataset = build_dataset(runner, kernel="spmv-csr")
+        predictor = TrafficPredictor.fit(dataset)
+        clone = TrafficPredictor.from_json(predictor.to_json())
+        features = dataset.rows[0]["features"]
+        for technique in predictor.techniques:
+            a = predictor.predict_cell(features, technique)
+            b = clone.predict_cell(features, technique)
+            assert a == pytest.approx(b)
+        assert clone.predict_baseline_norm_runtime(features) == pytest.approx(
+            predictor.predict_baseline_norm_runtime(features)
+        )
+
+    def test_from_json_rejects_wrong_schema_and_layout(self, runner):
+        dataset = build_dataset(runner, kernel="spmv-csr")
+        payload = TrafficPredictor.fit(dataset).to_json()
+        bad_schema = dict(payload, schema=99)
+        with pytest.raises(ValidationError):
+            TrafficPredictor.from_json(bad_schema)
+        bad_layout = dict(payload, feature_names=["nope"])
+        with pytest.raises(ValidationError):
+            TrafficPredictor.from_json(bad_layout)
+
+    def test_unknown_technique_raises(self, runner):
+        dataset = build_dataset(runner, kernel="spmv-csr")
+        predictor = TrafficPredictor.fit(dataset)
+        with pytest.raises(ValidationError):
+            predictor.predict_cell(dataset.rows[0]["features"], "gorder")
+
+
+class TestPretrained:
+    def test_committed_pairs_load(self):
+        pairs = pretrained_pairs()
+        assert ("test", "spmv-csr") in pairs
+        for profile, kernel in pairs:
+            predictor = load_pretrained(profile, kernel)
+            assert predictor is not None
+            assert predictor.kernel == kernel
+        assert load_pretrained("test", "no-such-kernel") is None
+
+    def test_pretrained_predictions_are_sane(self):
+        predictor = load_pretrained("test", "spmv-csr")
+        features = structural_features(
+            load_graph("test-comm"), scaled_platform("test")
+        )
+        cell = predictor.predict_cell(features, "rabbit")
+        assert cell["runtime_ratio"] > 0
+        assert cell["reorder_seconds"] > 0
+        assert -1.0 <= cell["traffic_reduction"] <= 1.0
+
+
+class TestRecommendFacade:
+    def test_recommend_runs_zero_reorderings(self):
+        graph = load_graph("test-rmat")
+        rec = recommend(graph, kernel="spmv-csr", profile="test", iterations=10)
+        assert rec.kernel == "spmv-csr"
+        assert rec.baseline_seconds > 0
+        assert {row["technique"] for row in rec.candidates} == set(
+            load_pretrained("test", "spmv-csr").techniques
+        )
+        if rec.reorder_worth_it:
+            assert rec.best is not None
+        else:
+            assert rec.chosen == "original"
+        payload = rec.to_json()
+        assert payload["predicted"] is True
+        assert payload["chosen"] == rec.chosen
+
+    def test_horizon_monotonicity(self):
+        # A longer horizon can only make reordering more attractive.
+        graph = load_graph("test-rmat")
+        short = recommend(graph, profile="test", iterations=2)
+        long = recommend(graph, profile="test", iterations=10_000_000)
+        if short.reorder_worth_it:
+            assert long.reorder_worth_it

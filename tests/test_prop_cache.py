@@ -3,9 +3,9 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.cache import next_use_index, simulate_belady
+from repro.cache import next_use_index, simulate
 from repro.cache.config import CacheConfig
-from repro.cache import compulsory_misses, simulate_lru
+from repro.cache import compulsory_misses, simulate
 
 traces = st.lists(st.integers(0, 30), min_size=0, max_size=300).map(
     lambda xs: np.asarray(xs, dtype=np.int64)
@@ -26,7 +26,7 @@ class TestSimulatorInvariants:
     @given(traces, configs)
     @settings(max_examples=80, deadline=None)
     def test_lru_accounting(self, trace, config):
-        stats = simulate_lru(trace, config)
+        stats = simulate(trace, config)
         stats.check_consistency()
         assert stats.misses >= compulsory_misses(trace)
         assert stats.dead_lines <= stats.misses
@@ -34,7 +34,7 @@ class TestSimulatorInvariants:
     @given(traces, configs)
     @settings(max_examples=80, deadline=None)
     def test_belady_accounting(self, trace, config):
-        stats = simulate_belady(trace, config)
+        stats = simulate(trace, config, policy="belady")
         stats.check_consistency()
         assert stats.misses >= compulsory_misses(trace)
 
@@ -42,8 +42,8 @@ class TestSimulatorInvariants:
     @settings(max_examples=80, deadline=None)
     def test_belady_never_worse_than_lru(self, trace, config):
         """The defining property of the optimal policy."""
-        opt = simulate_belady(trace, config)
-        lru = simulate_lru(trace, config)
+        opt = simulate(trace, config, policy="belady")
+        lru = simulate(trace, config)
         assert opt.misses <= lru.misses
 
     @given(traces)
@@ -51,8 +51,8 @@ class TestSimulatorInvariants:
     def test_lru_capacity_monotonicity(self, trace):
         """Fully-associative LRU has the stack (inclusion) property:
         more capacity can never add misses."""
-        small = simulate_lru(trace, CacheConfig(capacity_bytes=128, line_bytes=32, ways=4))
-        large = simulate_lru(trace, CacheConfig(capacity_bytes=256, line_bytes=32, ways=8))
+        small = simulate(trace, CacheConfig(capacity_bytes=128, line_bytes=32, ways=4))
+        large = simulate(trace, CacheConfig(capacity_bytes=256, line_bytes=32, ways=8))
         assert large.misses <= small.misses
 
     @given(traces)
@@ -78,6 +78,6 @@ class TestSimulatorInvariants:
         if trace.size == 0:
             return
         doubled = np.concatenate([trace, trace])
-        once = simulate_lru(trace, config)
-        twice = simulate_lru(doubled, config)
+        once = simulate(trace, config)
+        twice = simulate(doubled, config)
         assert twice.misses <= 2 * once.misses

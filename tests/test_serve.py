@@ -228,11 +228,12 @@ def test_upload_shares_store_entry_with_corpus_matrix(service, tmp_path):
     assert uploaded.payload["permutation"] == named.payload["permutation"]
 
 
-def test_auto_recommendation_is_amortization_framed(service):
+def test_auto_recommendation_is_predicted_and_amortization_framed(service, instr):
     result = service.handle(
         {"matrix": "test-comm", "technique": "auto", "iterations": 7}
     )
     rec = result.payload["recommendation"]
+    assert rec["predicted"] is True
     assert rec["iterations"] == 7
     assert rec["baseline"]["technique"] == "original"
     assert [c["technique"] for c in rec["candidates"]] == list(
@@ -241,6 +242,9 @@ def test_auto_recommendation_is_amortization_framed(service):
     for row in rec["candidates"]:
         expected = row["reorder_seconds"] + 7 * row["modeled_seconds"]
         assert row["total_seconds"] == pytest.approx(expected)
+        assert row["speedup"] == pytest.approx(
+            rec["baseline"]["modeled_seconds"] / row["modeled_seconds"]
+        )
     # The chosen technique is the response's technique.
     assert result.payload["technique"] == rec["chosen"]
     if not rec["reorder_worth_it"]:
@@ -252,6 +256,54 @@ def test_auto_recommendation_is_amortization_framed(service):
         )
         assert chosen_row["total_seconds"] <= best * 1.01
         assert best < rec["baseline"]["total_seconds"]
+    # The prediction itself ran zero candidate reorderings: only the
+    # chosen technique was evaluated after the choice.
+    assert instr.counters.get("serve.compute.eval") <= 1
+    assert instr.counters.get("serve.compute.permutation") <= 1
+
+
+def test_handle_recommend_computes_nothing(service, instr):
+    result = service.handle_recommend(
+        {"matrix": "test-comm", "iterations": 50}
+    )
+    assert result.store == "predicted"
+    body = result.payload
+    assert body["v"] == 1
+    assert body["technique"] == body["recommendation"]["chosen"]
+    assert body["matrix"]["name"] == "test-comm"
+    assert {c["technique"] for c in body["recommendation"]["candidates"]} == set(
+        service.config.candidates
+    )
+    # The acceptance criterion: zero permutations, zero evaluations.
+    assert instr.counters.get("serve.compute.eval") == 0
+    assert instr.counters.get("serve.compute.permutation") == 0
+    # A second call reuses the cached features and predictor.
+    again = service.handle_recommend({"matrix": "test-comm", "iterations": 50})
+    assert render_body(again.payload) == render_body(body)
+
+
+def test_handle_recommend_validates(service):
+    with pytest.raises(ValidationError):
+        service.handle_recommend({})  # neither matrix nor mtx
+    with pytest.raises(ValidationError, match="'policy'"):
+        service.handle_recommend({"matrix": "test-comm", "policy": "lru"})
+    with pytest.raises(ValidationError):
+        service.handle_recommend({"matrix": "test-comm", "iterations": 0})
+    with pytest.raises(CorpusError):
+        service.handle_recommend({"matrix": "no-such"})
+
+
+def test_unknown_request_key_names_the_key(service):
+    with pytest.raises(ValidationError, match="'kernle'"):
+        service.handle({"matrix": "test-comm", "kernle": "spmv-csr"})
+    with pytest.raises(ValidationError, match="allowed keys"):
+        service.handle({"matrix": "test-comm", "extra": 1})
+
+
+def test_reorder_body_carries_wire_version(service):
+    result = service.handle({"matrix": "test-comm", "technique": "degsort"})
+    assert result.payload["v"] == 1
+    assert result.payload["schema"] == 1
 
 
 def test_compute_counters_tick_once_per_entry(service, instr):
@@ -331,6 +383,46 @@ def test_http_error_mapping(endpoint):
     except urllib.error.HTTPError as exc:
         status = exc.code
     assert status == 404
+
+
+def test_http_recommend_get_and_post(endpoint, instr):
+    url = endpoint + "/v1/recommend?matrix=test-comm&iterations=25"
+    with urllib.request.urlopen(url, timeout=60) as response:
+        assert response.status == 200
+        assert response.headers["X-Repro-Store"] == "predicted"
+        via_get = json.loads(response.read())
+    assert via_get["v"] == 1
+    assert via_get["iterations"] == 25
+    assert via_get["recommendation"]["predicted"] is True
+
+    data = json.dumps({"matrix": "test-comm", "iterations": 25}).encode()
+    request = urllib.request.Request(
+        endpoint + "/v1/recommend",
+        data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        via_post = json.loads(response.read())
+    assert via_post == via_get
+    # Predicted end to end: no permutation or evaluation was computed.
+    assert instr.counters.get("serve.compute.eval") == 0
+    assert instr.counters.get("serve.compute.permutation") == 0
+
+
+def test_http_recommend_rejects_unknown_key(endpoint):
+    data = json.dumps({"matrix": "test-comm", "policy": "lru"}).encode()
+    request = urllib.request.Request(
+        endpoint + "/v1/recommend",
+        data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            status, body = response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        status, body = exc.code, exc.read()
+    assert status == 400
+    assert "'policy'" in json.loads(body)["error"]
 
 
 def test_http_coalesces_to_one_solver_invocation(endpoint, instr, faults):

@@ -110,15 +110,15 @@ class TestObsWiring:
 
 
 class TestDeprecatedAliases:
-    def test_aliases_still_importable(self, trace, config):
+    def test_aliases_warn_and_match_simulate(self, trace, config):
         from repro.cache import simulate_belady, simulate_lru
 
-        assert simulate_lru(trace, config) == simulate(
-            trace, config, policy="lru", impl="reference"
-        )
-        assert simulate_belady(trace, config) == simulate(
-            trace, config, policy="belady", impl="reference"
-        )
+        with pytest.warns(DeprecationWarning, match="repro.cache.simulate"):
+            lru = simulate_lru(trace, config)
+        assert lru == simulate(trace, config, policy="lru", impl="reference")
+        with pytest.warns(DeprecationWarning, match="repro.cache.simulate"):
+            belady = simulate_belady(trace, config)
+        assert belady == simulate(trace, config, policy="belady", impl="reference")
 
     def test_facade_exports(self):
         assert repro.simulate is simulate

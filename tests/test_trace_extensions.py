@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cache.config import CacheConfig
-from repro.cache import compulsory_misses, simulate_lru
+from repro.cache import compulsory_misses, simulate
 from repro.errors import ValidationError
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import COOMatrix
@@ -42,7 +42,7 @@ class TestCscTrace:
         csc = coo_to_csc(random_coo(256, 1024, seed=4))
         trace = spmv_csc_trace(csc)
         config = CacheConfig(capacity_bytes=1024, line_bytes=32, ways=4)
-        stats = simulate_lru(trace.lines, config, regions=trace.regions)
+        stats = simulate(trace.lines, config, regions=trace.regions)
         x_region = [r for r in trace.regions if r[0] == "x"][0]
         x_lines = x_region[2] - x_region[1]
         # Near-compulsory: each x line spans 8 columns and can very
@@ -82,8 +82,8 @@ class TestTiledTrace:
         config = CacheConfig(capacity_bytes=2048, line_bytes=32, ways=8)
         untiled = spmv_csr_trace(csr)
         tiled = spmv_csr_tiled_trace(csr, 16)  # tile x-slice = 256 B
-        untiled_stats = simulate_lru(untiled.lines, config, regions=untiled.regions)
-        tiled_stats = simulate_lru(tiled.lines, config, regions=tiled.regions)
+        untiled_stats = simulate(untiled.lines, config, regions=untiled.regions)
+        tiled_stats = simulate(tiled.lines, config, regions=tiled.regions)
         assert tiled_stats.region_misses["x"] < 0.5 * untiled_stats.region_misses["x"]
 
     def test_one_tile_close_to_plain_trace(self):

@@ -163,14 +163,14 @@ class TestTraceVsSimulator:
         """With an infinite cache, misses equal distinct lines — and the
         streaming regions (coords/values) see exactly their size."""
         from repro.cache.config import CacheConfig
-        from repro.cache import simulate_lru
+        from repro.cache import simulate
 
         rng = np.random.default_rng(5)
         coo = COOMatrix(128, 128, rng.integers(0, 128, 600), rng.integers(0, 128, 600))
         csr = coo_to_csr(coo)
         trace = spmv_csr_trace(csr)
         huge = CacheConfig(capacity_bytes=1 << 20, line_bytes=32, ways=1 << 15)
-        stats = simulate_lru(trace.lines, huge, regions=trace.regions)
+        stats = simulate(trace.lines, huge, regions=trace.regions)
         coords_region = [r for r in trace.regions if r[0] == "coords"][0]
         coords_lines = coords_region[2] - coords_region[1]
         # coords region: misses equal its line count (minus guard rounding).
