@@ -43,7 +43,7 @@ def test_bench_serve_smoke(tmp_path):
         technique="rabbit++",
         store_dir=str(tmp_path / "store"),
     )
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["requests"]["errors"] == {}
     total = payload["requests"]["total"]
     assert total == 36

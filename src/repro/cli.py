@@ -269,7 +269,14 @@ def _build_parser() -> argparse.ArgumentParser:
     doctor.add_argument(
         "--cache-dir",
         default=None,
-        help="memo directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+        help="memo directory (default: $REPRO_CACHE_DIR or ./.repro_cache); "
+        "with --store, the store root to scan instead",
+    )
+    doctor.add_argument(
+        "--store",
+        action="store_true",
+        help="scan the serve permutation store (default root: "
+        "$REPRO_SERVE_STORE or <cache>/serve-store) instead of the memo cache",
     )
     doctor.add_argument(
         "--quarantine",
@@ -464,6 +471,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="default amortization horizon for technique=auto "
         "(default: 100 kernel iterations)",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="admission control: max concurrent reorder computations "
+        "(store hits and /v1/recommend are never gated; default: 4)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission control: max requests waiting for a compute slot; "
+        "beyond this, requests are shed with 429 + Retry-After (default: 8)",
+    )
+    serve.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="max time a queued request waits for a compute slot before "
+        "being shed with 429 (default: 2.0)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM: max time to finish in-flight requests before "
+        "shutting down anyway (default: 10)",
+    )
+    serve.add_argument(
+        "--breaker-min-failures",
+        type=int,
+        default=4,
+        metavar="N",
+        help="compute/store circuit breakers: failures in the rolling "
+        "window before a breaker may open (default: 4)",
+    )
+    serve.add_argument(
+        "--breaker-recovery",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="circuit breakers: open duration before half-open probes "
+        "test recovery (default: 2.0)",
+    )
     _add_reorder_impl_flag(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -523,6 +578,46 @@ def _build_parser() -> argparse.ArgumentParser:
         default=120.0,
         metavar="SECONDS",
         help="per-request client timeout",
+    )
+    serve_bench.add_argument(
+        "--overload",
+        action="store_true",
+        help="overload mode: spawn a small-admission server, drive it at "
+        "--offered-factor x compute capacity, and report goodput / shed "
+        "rate / accepted p99 (spawns its own servers; --url is rejected)",
+    )
+    serve_bench.add_argument(
+        "--offered-factor",
+        type=float,
+        default=6.0,
+        metavar="X",
+        help="overload: offered load as a multiple of compute capacity "
+        "(client threads = X * --max-inflight; default: 6)",
+    )
+    serve_bench.add_argument(
+        "--max-inflight",
+        type=int,
+        default=1,
+        metavar="N",
+        help="overload: compute slots on the spawned server; keep at or "
+        "below the physical core count, extra slots just time-slice and "
+        "inflate accepted latency (default: 1)",
+    )
+    serve_bench.add_argument(
+        "--max-queue",
+        type=int,
+        default=2,
+        metavar="N",
+        help="overload: admission queue depth on the spawned server "
+        "(default: 2)",
+    )
+    serve_bench.add_argument(
+        "--min-goodput",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="overload gate: exit 1 unless accepted requests/s reaches "
+        "RPS (CI uses this)",
     )
     serve_bench.set_defaults(handler=_cmd_serve_bench)
 
@@ -940,9 +1035,15 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     damaged (bad JSON, checksum or schema mismatch) or predates cache
     versioning.  Already-quarantined files are reported but don't fail
     the scan — they are out of the cache's read path.
+
+    With ``--store`` the scan targets the serve permutation store
+    instead (same integrity report, nested layout); the server runs the
+    same scrub with quarantine at startup.
     """
     from repro.resilience import quarantine_file, scan_cache
 
+    if args.store:
+        return _doctor_store(args)
     cache_dir = resolve_cache_dir(args.cache_dir)
     scan = scan_cache(cache_dir)
     print(f"cache dir: {cache_dir}" + ("" if os.path.isdir(cache_dir) else " (missing)"))
@@ -975,6 +1076,47 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     print(
         f"cache integrity: {len(scan.damaged)} damaged, "
         f"{len(scan.legacy)} legacy file(s)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _doctor_store(args: argparse.Namespace) -> int:
+    """``repro doctor --store`` — serve permutation-store integrity scan."""
+    from repro.serve.store import PermutationStore
+
+    store = PermutationStore(args.cache_dir)
+    scan = store.scan(quarantine=args.quarantine)
+    print(
+        f"serve store: {store.root}"
+        + ("" if os.path.isdir(store.root) else " (missing)")
+    )
+    rows = [
+        ["ok", len(scan.ok)],
+        ["legacy (unversioned)", len(scan.legacy)],
+        ["damaged", len(scan.damaged)],
+        ["quarantined", len(scan.quarantined)],
+    ]
+    print(render_table(["status", "entries"], rows))
+    for name, reason in scan.damaged:
+        print(f"DAMAGED {name}: {reason}")
+    for name in scan.legacy:
+        print(f"LEGACY  {name}: missing cache envelope (will be quarantined on read)")
+    for name in scan.quarantined:
+        print(f"QUARANTINED {name}")
+    if args.quarantine:
+        moved = len(scan.damaged) + len(scan.legacy)
+        if moved:
+            print(
+                f"quarantined {moved} entries to "
+                f"{os.path.join(store.root, 'quarantine')}"
+            )
+    if scan.healthy:
+        print("store integrity: OK")
+        return 0
+    print(
+        f"store integrity: {len(scan.damaged)} damaged, "
+        f"{len(scan.legacy)} legacy entries",
         file=sys.stderr,
     )
     return 1
@@ -1209,6 +1351,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve`` — the reordering-as-a-service HTTP endpoint."""
     import signal
+    import threading
 
     from repro.serve.httpd import make_server
     from repro.serve.service import ReorderService, ServeConfig
@@ -1219,8 +1362,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reorder_impl=args.reorder_impl,
         default_deadline_seconds=args.deadline,
         default_iterations=args.iterations,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        breaker_min_failures=args.breaker_min_failures,
+        breaker_recovery_seconds=args.breaker_recovery,
     )
     service = ReorderService(config)
+    # Startup scrub: quarantine any crash-corrupted store entry before
+    # the first request, so damage can never serve as a bad hit.
+    scrub = service.store.scan(quarantine=True)
+    if not scrub.healthy and not args.quiet:
+        print(
+            f"repro serve: startup scrub quarantined "
+            f"{len(scrub.damaged) + len(scrub.legacy)} store entries",
+            file=sys.stderr,
+        )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     if args.port_file:
@@ -1247,8 +1404,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    def _graceful(signum, frame):  # SIGTERM behaves like Ctrl-C: clean exit
-        raise KeyboardInterrupt
+    drain_result: dict = {"clean": None}
+
+    def _graceful(signum, frame):
+        # Graceful drain. This handler runs on the main thread, where
+        # serve_forever is paused — calling server.shutdown() here
+        # would deadlock (it waits for the serve loop to acknowledge).
+        # So: flag the drain (readiness flips to 503, new requests are
+        # refused) and let a background thread wait out the in-flight
+        # requests before shutting the listener down.
+        if server.draining:
+            return
+        server.draining = True
+
+        def _drain() -> None:
+            drain_result["clean"] = server.drain(args.drain_timeout)
+
+        threading.Thread(target=_drain, name="serve-drain", daemon=True).start()
 
     previous = signal.signal(signal.SIGTERM, _graceful)
     try:
@@ -1261,6 +1433,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
     if ledger is not None:
         ledger.record("serve_stats", service.stats())
+        if drain_result["clean"] is not None:
+            ledger.record(
+                "serve_drain",
+                {
+                    "clean": drain_result["clean"],
+                    "deadline_seconds": args.drain_timeout,
+                },
+            )
+        errors = service.recent_errors()
+        if errors:
+            # Every 500's error_id (echoed to the client) lands here,
+            # so operators can join a client report to the traceback.
+            ledger.record("serve_errors", errors)
+    if not args.quiet and drain_result["clean"] is not None:
+        state = "clean" if drain_result["clean"] else "timed out"
+        print(f"repro serve: drain {state}; exiting", file=sys.stderr)
     return 0
 
 
@@ -1268,6 +1456,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """``repro serve-bench`` — replay a zipf trace, write BENCH_serve.json."""
     from repro.serve.bench import run_bench
 
+    if args.overload:
+        return _serve_bench_overload(args)
     payload = run_bench(
         base_url=args.url,
         profile=args.profile,
@@ -1293,7 +1483,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             _fmt(client[name]["p50"]),
             _fmt(client[name]["p99"]),
         ]
-        for name in ("overall", "hit", "miss", "coalesced")
+        for name in ("overall", "hit", "miss", "coalesced", "degraded")
     ]
     print(render_table(["class", "requests", "p50", "p99"], rows))
     hit_rate = payload["store_hit_rate"]
@@ -1322,6 +1512,75 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _serve_bench_overload(args: argparse.Namespace) -> int:
+    """``repro serve-bench --overload`` — shed-path load harness."""
+    from repro.serve.bench import run_overload_bench
+
+    if args.url:
+        print(
+            "repro: error: --overload spawns its own calibration and "
+            "overload servers; --url is not supported",
+            file=sys.stderr,
+        )
+        return 2
+    payload = run_overload_bench(
+        profile=args.profile,
+        n_requests=args.requests,
+        offered_factor=args.offered_factor,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        technique=args.technique,
+        policy=args.policy,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    over = payload["overload"]
+
+    def _ms(value) -> str:
+        return "-" if value is None else f"{float(value) * 1e3:.2f}ms"
+
+    rows = [
+        ["offered load", f"{over['offered_factor']:g}x capacity "
+                         f"({over['requests']} requests)"],
+        ["accepted", over["accepted"]],
+        ["shed (429)", over["shed"]],
+        ["errors", sum(over["errors"].values())],
+        ["goodput", f"{over['goodput_rps']:.1f} req/s"],
+        ["shed rate", f"{over['shed_rate']:.1%}"],
+        ["accepted p99", _ms(over["accepted_p99"])],
+        ["baseline p99", _ms(over["baseline_p99"])],
+        ["p99 ratio", "-" if over["p99_ratio"] is None else f"{over['p99_ratio']:.2f}x"],
+    ]
+    print(render_table(["overload", "value"], rows))
+    if over["errors"]:
+        print(f"errors by class: {over['errors']}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    ledger = getattr(args, "_ledger", None)
+    if ledger is not None:
+        ledger.record("serve_bench_overload", payload)
+    failed = False
+    if over["errors"].get("500"):
+        print(
+            f"serve-bench overload gate: FAIL ({over['errors']['500']} "
+            "HTTP 500s — overload must shed, never error)",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.min_goodput is not None and (
+        over["goodput_rps"] is None or over["goodput_rps"] < args.min_goodput
+    ):
+        print(
+            f"serve-bench overload gate: FAIL (goodput "
+            f"{over['goodput_rps']:.2f} req/s < {args.min_goodput:g})",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_predict_validate(args: argparse.Namespace) -> int:

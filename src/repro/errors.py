@@ -75,6 +75,37 @@ class CacheIntegrityError(TransientError):
     """
 
 
+class OverloadedError(TransientError):
+    """The serve tier shed this request: compute capacity is full.
+
+    Raised by the admission controller when the in-flight compute
+    semaphore and its bounded wait queue are both exhausted (or the
+    queue wait timed out).  Transient by definition — the whole point
+    of shedding is that the same request succeeds once load subsides —
+    and carries ``retry_after`` (seconds) so the HTTP layer can answer
+    ``429`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class BreakerOpenError(TransientError):
+    """A circuit breaker is open: the protected fault domain is sick.
+
+    Raised instead of attempting work a breaker has declared failing.
+    ``retry_after`` is the time until the breaker's next half-open
+    probe window, surfaced as the HTTP ``Retry-After`` on the ``503``
+    this maps to (unless the request can degrade to a predictor-only
+    answer instead).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class SweepFailure(ParallelExecutionError):
     """A sweep ended with cells that failed permanently.
 

@@ -31,6 +31,19 @@ Known sites:
 * ``memo.write`` — immediately after a memo file is written; ``match``
   tests against the file's basename, and ``corrupt`` damages the
   just-written bytes (truncate or bit-flip).
+* ``serve.compute`` — inside the serve tier's admitted compute path,
+  before the reorder+simulate pipeline; ``match`` tests against
+  ``technique|kernel``.  ``raise`` faults here drive the serve tier's
+  compute circuit breaker.
+* ``serve.store.get`` — before a verified permutation-store read
+  (``corrupt`` damages the entry so the read quarantines it); ``match``
+  tests against ``kind:key-prefix``.
+* ``serve.store.put`` — after a permutation-store entry is written,
+  mirroring ``memo.write`` (``corrupt`` damages the entry on disk,
+  ``raise`` simulates a failed persist feeding the store breaker).
+* ``serve.render`` — between a successful service call and the HTTP
+  response write (the lost-response path); ``match`` tests against
+  ``path|store-state``.
 
 Actions: ``raise`` (named exception), ``kill`` (``os._exit`` in pool
 workers — simulating a crashed worker; in the parent process it raises

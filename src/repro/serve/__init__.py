@@ -18,22 +18,41 @@ instead of recomputing them:
   simulator), with per-request deadlines reusing
   :func:`~repro.resilience.cell_deadline` semantics;
 * :mod:`repro.serve.httpd` — the stdlib ``ThreadingHTTPServer`` front
-  end (``repro serve``);
+  end (``repro serve``), with ``/ready`` + SIGTERM graceful drain;
+* :class:`~repro.serve.admission.Admission` — bounded in-flight
+  compute semaphore + bounded wait queue; excess load is shed as 429
+  with ``Retry-After`` instead of melting the box;
+* :class:`~repro.serve.breaker.CircuitBreaker` — closed→open→half-open
+  breakers around the compute and store fault domains; an open compute
+  breaker degrades ``"auto"`` requests to predictor-only answers
+  (``"degraded": true``, 202);
+* :class:`~repro.serve.client.ServeClient` — the resilient client:
+  capped exponential backoff with full jitter, ``Retry-After``
+  honoring, idempotent retries keyed on the request content digest;
 * :mod:`repro.serve.bench` — the load-test harness (``repro
   serve-bench``) replaying a zipf-skewed synthetic trace and writing
-  ``BENCH_serve.json``.
+  ``BENCH_serve.json``, including an ``--overload`` mode that drives
+  the admission controller past capacity and reports goodput/shed/p99.
 
 Everything is stdlib + numpy; there is no new dependency.
 """
 
+from repro.serve.admission import Admission
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import ClientResponse, ServeClient
 from repro.serve.coalesce import SingleFlight
-from repro.serve.service import ReorderService, ServeConfig
+from repro.serve.service import ReorderService, ServeConfig, ServeResult
 from repro.serve.store import PermutationStore, structure_digest
 
 __all__ = [
+    "Admission",
+    "CircuitBreaker",
+    "ClientResponse",
     "PermutationStore",
     "ReorderService",
+    "ServeClient",
     "ServeConfig",
+    "ServeResult",
     "SingleFlight",
     "structure_digest",
 ]

@@ -1,0 +1,111 @@
+"""Admission control: a bounded compute gate for the serve tier.
+
+The ThreadingHTTPServer front end spawns one thread per connection, so
+without a gate a burst of cold ``/v1/reorder`` misses runs one
+reordering per connection until the box thrashes.  :class:`Admission`
+bounds that: at most ``max_inflight`` reorderings run concurrently and
+at most ``max_queue`` further callers wait (up to ``queue_timeout``
+seconds) for a slot.  Anything beyond that is *shed* immediately with
+:class:`~repro.errors.OverloadedError`, which the HTTP layer maps to
+``429`` + ``Retry-After`` — bounded latency for admitted requests,
+fast feedback for the rest, and the server never melts.
+
+Only genuine compute enters the gate: store hits, coalesced followers,
+and ``/v1/recommend`` predictions are always admitted because they do
+no reordering (the service calls :meth:`admit` from inside the
+single-flight leader, after the in-flight store re-check).
+
+Counters: ``serve.shed.queue_full`` (queue was already at capacity),
+``serve.shed.queue_timeout`` (waited ``queue_timeout`` without getting
+a slot); gauges ``serve.queue.depth`` (peak waiters) and
+``serve.inflight.compute`` (peak concurrent computations).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import OverloadedError, ValidationError
+from repro.obs import get_obs
+
+
+class Admission:
+    """Bounded in-flight semaphore plus a small bounded wait queue."""
+
+    def __init__(
+        self,
+        max_inflight: int = 4,
+        max_queue: int = 8,
+        queue_timeout: float = 2.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValidationError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValidationError(f"max_queue must be >= 0, got {max_queue}")
+        if queue_timeout <= 0:
+            raise ValidationError(
+                f"queue_timeout must be > 0, got {queue_timeout}"
+            )
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = float(queue_timeout)
+        self._slots = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._inflight = 0
+
+    def depth(self) -> int:
+        """Current number of waiters in the queue (for ``/stats``)."""
+        with self._lock:
+            return self._queued
+
+    def inflight(self) -> int:
+        """Current number of admitted computations (for ``/stats``)."""
+        with self._lock:
+            return self._inflight
+
+    @contextmanager
+    def admit(self, label: str = "") -> Iterator[None]:
+        """Hold one compute slot for the duration of the ``with`` block.
+
+        Raises :class:`OverloadedError` (→ 429) when the wait queue is
+        full or the queue wait times out.  ``retry_after`` is sized to
+        the queue timeout: by then at least one in-flight computation
+        has either finished or been shed itself.
+        """
+        suffix = f" ({label})" if label else ""
+        # Fast path: a free slot means no queueing at all.
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                if self._queued >= self.max_queue:
+                    get_obs().counter("serve.shed.queue_full")
+                    raise OverloadedError(
+                        f"compute queue full: {self.max_inflight} in flight, "
+                        f"{self._queued} queued{suffix}",
+                        retry_after=self.queue_timeout,
+                    )
+                self._queued += 1
+                get_obs().gauge("serve.queue.depth", self._queued)
+            try:
+                acquired = self._slots.acquire(timeout=self.queue_timeout)
+            finally:
+                with self._lock:
+                    self._queued -= 1
+            if not acquired:
+                get_obs().counter("serve.shed.queue_timeout")
+                raise OverloadedError(
+                    f"compute slot wait exceeded {self.queue_timeout:g}s"
+                    f"{suffix}",
+                    retry_after=self.queue_timeout,
+                )
+        with self._lock:
+            self._inflight += 1
+            get_obs().gauge("serve.inflight.compute", self._inflight)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+            self._slots.release()

@@ -1,0 +1,217 @@
+"""Circuit breaker for the serve tier's fault domains.
+
+A :class:`CircuitBreaker` tracks the recent outcomes of one dependency
+(the reordering compute pipeline, the on-disk permutation store) and
+cuts traffic to it once it is demonstrably sick, instead of letting
+every request pay the full failure latency and pile more load onto a
+struggling component.  Standard three-state machine:
+
+* **closed** — normal operation.  Outcomes are recorded into a rolling
+  window; when the window holds at least ``min_failures`` failures AND
+  the failure rate reaches ``failure_rate``, the breaker *opens*.
+* **open** — calls are rejected immediately (:meth:`acquire` returns
+  ``False``) until ``recovery_seconds`` have elapsed, at which point
+  the breaker moves to *half-open*.
+* **half-open** — up to ``probe_budget`` concurrent *probe* calls are
+  admitted.  ``probe_successes`` successful probes close the breaker
+  (window reset); any probe failure re-opens it and restarts the
+  recovery clock.
+
+The breaker never interprets exceptions itself: callers classify
+(client errors like :class:`~repro.errors.ValidationError` must not
+count against the dependency) and report via :meth:`success`,
+:meth:`failure`, or :meth:`cancel` (undo an :meth:`acquire` without
+recording an outcome — e.g. the request was shed by admission control
+before the dependency was ever exercised).
+
+Counters (``serve.breaker.<name>.*``): ``opened``, ``closed``,
+``half_open``, ``reject``, plus a ``serve.breaker.<name>.state`` gauge
+(0 closed, 1 half-open, 2 open) so ``/stats`` shows the live state.
+
+The clock is injectable so tests drive recovery deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict
+
+from repro.errors import ValidationError
+from repro.obs import get_obs
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker with a rolling failure window."""
+
+    def __init__(
+        self,
+        name: str,
+        window: int = 16,
+        min_failures: int = 4,
+        failure_rate: float = 0.5,
+        recovery_seconds: float = 2.0,
+        probe_budget: int = 2,
+        probe_successes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        if min_failures < 1:
+            raise ValidationError(f"min_failures must be >= 1, got {min_failures}")
+        if not 0.0 < failure_rate <= 1.0:
+            raise ValidationError(
+                f"failure_rate must be in (0, 1], got {failure_rate}"
+            )
+        if recovery_seconds <= 0:
+            raise ValidationError(
+                f"recovery_seconds must be > 0, got {recovery_seconds}"
+            )
+        if probe_budget < 1:
+            raise ValidationError(f"probe_budget must be >= 1, got {probe_budget}")
+        if probe_successes < 1:
+            raise ValidationError(
+                f"probe_successes must be >= 1, got {probe_successes}"
+            )
+        self.name = name
+        self.window = window
+        self.min_failures = min_failures
+        self.failure_rate = failure_rate
+        self.recovery_seconds = float(recovery_seconds)
+        self.probe_budget = probe_budget
+        self.probe_successes = probe_successes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        #: Rolling outcome window while closed: True = failure.
+        self._outcomes: deque = deque(maxlen=window)
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._probes_succeeded = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        """State with the open→half-open time transition applied (lock held)."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._to_half_open()
+        return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe window (>= 0)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0, self._opened_at + self.recovery_seconds - self._clock()
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Live state for ``/stats``."""
+        with self._lock:
+            state = self._effective_state()
+            failures = sum(1 for failed in self._outcomes if failed)
+            return {
+                "state": state,
+                "window_failures": failures,
+                "window_size": len(self._outcomes),
+                "probes_inflight": self._probes_inflight,
+            }
+
+    # -- call protocol ----------------------------------------------------
+
+    def acquire(self) -> bool:
+        """Ask permission to call the dependency.
+
+        ``True`` admits the call — the caller MUST then report exactly
+        one of :meth:`success`/:meth:`failure`/:meth:`cancel`.
+        ``False`` means the breaker is open (or the half-open probe
+        budget is spent); the caller must not touch the dependency.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and self._probes_inflight < self.probe_budget:
+                self._probes_inflight += 1
+                return True
+            get_obs().counter(f"serve.breaker.{self.name}.reject")
+            return False
+
+    def success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._probes_succeeded += 1
+                if self._probes_succeeded >= self.probe_successes:
+                    self._to_closed()
+                return
+            if self._state == CLOSED:
+                self._outcomes.append(False)
+
+    def failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._to_open()
+                return
+            if self._state == CLOSED:
+                self._outcomes.append(True)
+                failures = sum(1 for failed in self._outcomes if failed)
+                if (
+                    failures >= self.min_failures
+                    and failures / len(self._outcomes) >= self.failure_rate
+                ):
+                    self._to_open()
+
+    def cancel(self) -> None:
+        """Undo an :meth:`acquire` without recording an outcome."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+
+    # -- transitions (lock held) ------------------------------------------
+
+    def _to_open(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probes_inflight = 0
+        self._probes_succeeded = 0
+        self._outcomes.clear()
+        get_obs().counter(f"serve.breaker.{self.name}.opened")
+        self._gauge()
+
+    def _to_half_open(self) -> None:
+        self._state = HALF_OPEN
+        self._probes_inflight = 0
+        self._probes_succeeded = 0
+        get_obs().counter(f"serve.breaker.{self.name}.half_open")
+        self._gauge()
+
+    def _to_closed(self) -> None:
+        self._state = CLOSED
+        self._outcomes.clear()
+        self._probes_inflight = 0
+        self._probes_succeeded = 0
+        get_obs().counter(f"serve.breaker.{self.name}.closed")
+        self._gauge()
+
+    def _gauge(self) -> None:
+        get_obs().gauge(
+            f"serve.breaker.{self.name}.state", _STATE_GAUGE[self._state]
+        )

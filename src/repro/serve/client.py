@@ -1,0 +1,175 @@
+"""Resilient HTTP client for the serve tier.
+
+:class:`ServeClient` wraps :mod:`urllib` with the retry discipline an
+overload-safe server expects from its callers:
+
+* **capped exponential backoff with full jitter** — attempt *k* sleeps
+  ``uniform(0, min(cap, base * 2**k))``, the decorrelating schedule
+  that keeps a thundering herd of retriers from re-synchronizing on
+  the very server they just overloaded;
+* **Retry-After honoring** — a ``429``/``503`` carrying ``Retry-After``
+  overrides the computed backoff (still capped, still jittered down,
+  never up), so the client sleeps exactly as long as the server's
+  admission controller or circuit breaker asked it to;
+* **idempotent retry** — every request carries an
+  ``X-Repro-Idempotency-Key`` header: the SHA-256 of the canonical
+  (sorted-keys) request JSON.  The serve tier's responses are already
+  deterministic functions of the request content (content-addressed
+  store), so replaying a request is always safe; the header makes the
+  retry's identity explicit and greppable in server logs.
+
+Retried outcomes: HTTP 429/502/503 and connection-level
+``OSError``/``URLError``.  Everything else (including 500) returns
+immediately — a deterministic failure does not get better with
+repetition.  The rng and sleep hooks are injectable so tests assert
+the schedule without waiting it out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ValidationError
+
+#: HTTP statuses worth retrying: shed (429), bad gateway (502) and
+#: not-ready/breaker-open (503).  504 (deadline exceeded) is excluded:
+#: the request already consumed a full deadline budget server-side.
+RETRY_STATUSES = frozenset((429, 502, 503))
+
+
+def idempotency_key(payload: Dict[str, object]) -> str:
+    """Content digest of one request: SHA-256 of its canonical JSON."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ClientResponse:
+    """Final outcome of one (possibly retried) request."""
+
+    status: int  #: HTTP status, or -1 when every attempt failed to connect
+    body: Optional[Dict[str, object]]
+    headers: Dict[str, str] = field(default_factory=dict)
+    attempts: int = 1
+    retries: int = 0  #: attempts beyond the first
+    retry_wait_seconds: float = 0.0  #: total time spent backing off
+    error: Optional[str] = None  #: connection-level failure description
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServeClient:
+    """Retrying JSON client bound to one serve base URL."""
+
+    def __init__(
+        self,
+        base_url: str,
+        max_retries: int = 4,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        timeout: float = 120.0,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base <= 0 or backoff_cap <= 0:
+            raise ValidationError(
+                f"backoff base/cap must be > 0, got "
+                f"{backoff_base!r}/{backoff_cap!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.max_retries = max_retries
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.timeout = float(timeout)
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    # -- endpoint helpers -------------------------------------------------
+
+    def reorder(self, request: Dict[str, object]) -> ClientResponse:
+        return self.post_json("/v1/reorder", request)
+
+    def recommend(self, request: Dict[str, object]) -> ClientResponse:
+        return self.post_json("/v1/recommend", request)
+
+    # -- core -------------------------------------------------------------
+
+    def post_json(self, path: str, payload: Dict[str, object]) -> ClientResponse:
+        """POST ``payload``; retry shed/transient outcomes with backoff."""
+        body = json.dumps(payload).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "X-Repro-Idempotency-Key": idempotency_key(payload),
+        }
+        attempts = 0
+        waited = 0.0
+        last: Optional[ClientResponse] = None
+        while True:
+            attempts += 1
+            last = self._attempt(path, body, headers)
+            retryable = last.status in RETRY_STATUSES or last.status < 0
+            if not retryable or attempts > self.max_retries:
+                break
+            pause = self._backoff(attempts - 1, last.headers.get("Retry-After"))
+            waited += pause
+            self._sleep(pause)
+        last.attempts = attempts
+        last.retries = attempts - 1
+        last.retry_wait_seconds = waited
+        return last
+
+    def _attempt(
+        self, path: str, body: bytes, headers: Dict[str, str]
+    ) -> ClientResponse:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=dict(headers)
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return ClientResponse(
+                    status=response.status,
+                    body=self._parse(response.read()),
+                    headers=dict(response.headers),
+                )
+        except urllib.error.HTTPError as exc:
+            return ClientResponse(
+                status=exc.code,
+                body=self._parse(exc.read()),
+                headers=dict(exc.headers or {}),
+            )
+        except (urllib.error.URLError, OSError) as exc:
+            return ClientResponse(status=-1, body=None, error=str(exc))
+
+    def _backoff(self, attempt: int, retry_after: Optional[str]) -> float:
+        """Sleep budget before retry ``attempt`` (0-based), jittered."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2.0**attempt))
+        if retry_after is not None:
+            try:
+                hinted = float(retry_after)
+            except ValueError:
+                hinted = 0.0
+            if hinted > 0:
+                # Honor the server's ask, capped so a confused server
+                # cannot park the client for minutes; jitter *down*
+                # from the hint so retriers spread out before it.
+                ceiling = min(self.backoff_cap, max(ceiling, hinted))
+        return self._rng.uniform(0.0, ceiling)
+
+    @staticmethod
+    def _parse(raw: bytes) -> Optional[Dict[str, object]]:
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return parsed if isinstance(parsed, dict) else None

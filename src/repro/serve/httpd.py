@@ -24,29 +24,56 @@ connection, no new dependencies) exposing:
   answers without computing a single candidate reordering;
   ``X-Repro-Store`` is always ``predicted``.
 
-* ``GET /health`` — liveness probe.
-* ``GET /stats`` — store/coalescing stats plus the live counter and
-  histogram snapshot (``serve.request.hit`` / ``serve.request.miss``
-  latency histograms back the bench harness's server-side view).
+* ``GET /health`` — liveness probe (200 even while draining).
+* ``GET /ready`` — readiness probe: 503 once a SIGTERM drain starts,
+  so load balancers stop routing before the process exits.
+* ``GET /stats`` — store/coalescing/admission/breaker stats plus the
+  live counter and histogram snapshot (``serve.request.hit`` /
+  ``serve.request.miss`` latency histograms back the bench harness's
+  server-side view).
 
 Error mapping (all JSON, none of them kill the server):
 ``400`` malformed request / validation failure, ``404`` unknown corpus
-matrix or path, ``413`` oversized body, ``504`` per-request deadline
-exceeded (:class:`~repro.errors.CellTimeoutError`), ``500`` anything
-else.
+matrix or path, ``413`` oversized body, ``429`` shed by admission
+control (:class:`~repro.errors.OverloadedError`, with ``Retry-After``),
+``503`` circuit breaker open / draining (also with ``Retry-After``),
+``504`` per-request deadline exceeded
+(:class:`~repro.errors.CellTimeoutError`), ``500`` anything else — a
+500 body carries an ``"error_id"`` that is echoed into the run-ledger
+record so operators can correlate it with the server-side traceback.
+``202`` is success in degraded mode: an ``"auto"`` request answered
+from the predictor alone (``"degraded": true``) while the compute
+breaker is open.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import threading
 import time
+import traceback
+import uuid
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import CellTimeoutError, CorpusError, ValidationError
+from repro.errors import (
+    BreakerOpenError,
+    CellTimeoutError,
+    CorpusError,
+    OverloadedError,
+    ValidationError,
+)
 from repro.obs import get_obs, logger
+from repro.resilience.faults import fault_point
 from repro.serve.service import ReorderService
+
+
+def _retry_after(seconds: float) -> str:
+    """``Retry-After`` header value: integer seconds, floored at 1."""
+    return str(max(1, math.ceil(seconds)))
 
 
 def render_body(payload: Dict[str, object]) -> bytes:
@@ -60,13 +87,61 @@ def render_body(payload: Dict[str, object]) -> bytes:
 
 
 class ReorderHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one :class:`ReorderService`."""
+    """Threaded HTTP server bound to one :class:`ReorderService`.
+
+    Tracks in-flight requests so :meth:`drain` (SIGTERM) can refuse new
+    work — ``/ready`` flips to 503, service endpoints answer 503 with
+    ``Retry-After`` — while every already-admitted request (including
+    coalesced followers parked on an in-flight leader) runs to
+    completion before the listener shuts down.
+    """
 
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], service: ReorderService) -> None:
         super().__init__(address, ServeHandler)
         self.service = service
+        self.draining = False
+        self._active = 0
+        self._idle = threading.Condition()
+
+    @contextmanager
+    def track_request(self) -> Iterator[None]:
+        """Count one service request as in-flight for drain purposes."""
+        with self._idle:
+            self._active += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._active -= 1
+                if self._active == 0:
+                    self._idle.notify_all()
+
+    def active_requests(self) -> int:
+        with self._idle:
+            return self._active
+
+    def drain(self, deadline_seconds: float = 10.0) -> bool:
+        """Stop admitting, wait out in-flight requests, shut down.
+
+        Returns True when the server went idle within the deadline;
+        either way the listener is shut down (``serve_forever``
+        returns) so the process can exit.  Safe to call from a signal-
+        handler-spawned thread — never from the ``serve_forever``
+        thread itself (``shutdown`` would deadlock there).
+        """
+        self.draining = True
+        get_obs().counter("serve.drain.started")
+        with self._idle:
+            clean = self._idle.wait_for(
+                lambda: self._active == 0, timeout=deadline_seconds
+            )
+        get_obs().counter(
+            "serve.drain.clean" if clean else "serve.drain.timeout"
+        )
+        self.shutdown()
+        return clean
 
 
 class ServeHandler(BaseHTTPRequestHandler):
@@ -86,7 +161,21 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/health":
+            # Liveness: answers 200 even while draining — the process
+            # is alive and finishing work, just not accepting more.
             self._send_json(200, {"ok": True})
+            return
+        if self.path == "/ready":
+            # Readiness: flips to 503 the moment a drain starts so a
+            # load balancer stops routing here before the exit.
+            if self.server.draining:  # type: ignore[attr-defined]
+                self._send_json(
+                    503,
+                    {"ready": False, "draining": True},
+                    extra_headers={"Retry-After": "1"},
+                )
+                return
+            self._send_json(200, {"ready": True, "draining": False})
             return
         if self.path == "/stats":
             obs = get_obs()
@@ -145,38 +234,76 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, handler: Callable, request: object) -> None:
         """Run one service call with the shared error mapping."""
+        server: ReorderHTTPServer = self.server  # type: ignore[assignment]
+        if server.draining:
+            self._send_error_json(
+                503, "server is draining", extra_headers={"Retry-After": "1"}
+            )
+            return
         started = time.monotonic()
         obs = get_obs()
-        try:
-            with obs.span("serve-request"):
-                result = handler(request)
-        except ValidationError as exc:
-            self._send_error_json(400, str(exc))
-            return
-        except CorpusError as exc:
-            # CorpusError is a KeyError; str() of a KeyError quotes the
-            # message, so unwrap the original argument.
-            detail = exc.args[0] if exc.args else str(exc)
-            self._send_error_json(404, str(detail))
-            return
-        except CellTimeoutError as exc:
-            self._send_error_json(504, str(exc))
-            return
-        except Exception as exc:  # noqa: BLE001 - a request must not kill the server
-            logger.exception("serve: unhandled error for %s", self.path)
-            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
-            return
-        elapsed = time.monotonic() - started
-        obs.counter(f"serve.request.{result.store}")
-        obs.observe(f"serve.request.{result.store}", elapsed)
-        self._send_json(
-            200,
-            result.payload,
-            extra_headers={
+        with server.track_request():
+            try:
+                with obs.span("serve-request"):
+                    result = handler(request)
+                # Chaos site: a fault here fails the request *after* the
+                # service succeeded (lost-response path) — it must map
+                # to a clean error, never kill the server.
+                fault_point("serve.render", label=f"{self.path}|{result.store}")
+            except ValidationError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            except CorpusError as exc:
+                # CorpusError is a KeyError; str() of a KeyError quotes
+                # the message, so unwrap the original argument.
+                detail = exc.args[0] if exc.args else str(exc)
+                self._send_error_json(404, str(detail))
+                return
+            except OverloadedError as exc:
+                self._send_error_json(
+                    429,
+                    str(exc),
+                    extra_headers={"Retry-After": _retry_after(exc.retry_after)},
+                )
+                return
+            except BreakerOpenError as exc:
+                self._send_error_json(
+                    503,
+                    str(exc),
+                    extra_headers={"Retry-After": _retry_after(exc.retry_after)},
+                )
+                return
+            except CellTimeoutError as exc:
+                self._send_error_json(504, str(exc))
+                return
+            except Exception as exc:  # noqa: BLE001 - a request must not kill the server
+                error_id = uuid.uuid4().hex[:12]
+                message = f"{type(exc).__name__}: {exc}"
+                logger.exception(
+                    "serve: unhandled error %s for %s", error_id, self.path
+                )
+                self.service.record_error(
+                    error_id,
+                    self.path,
+                    message,
+                    "".join(
+                        traceback.format_exception(
+                            type(exc), exc, exc.__traceback__
+                        )
+                    ),
+                )
+                self._send_error_json(500, message, error_id=error_id)
+                return
+            elapsed = time.monotonic() - started
+            obs.counter(f"serve.request.{result.store}")
+            obs.observe(f"serve.request.{result.store}", elapsed)
+            headers = {
                 "X-Repro-Store": result.store,
                 "X-Repro-Seconds": f"{elapsed:.6f}",
-            },
-        )
+            }
+            if result.retry_after is not None:
+                headers["Retry-After"] = _retry_after(result.retry_after)
+            self._send_json(result.status, result.payload, extra_headers=headers)
 
     # -- plumbing ---------------------------------------------------------
 
@@ -195,9 +322,18 @@ class ServeHandler(BaseHTTPRequestHandler):
             return None
         return self.rfile.read(length)
 
-    def _send_error_json(self, status: int, message: str) -> None:
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+        error_id: Optional[str] = None,
+    ) -> None:
         get_obs().counter(f"serve.request.error.{status}")
-        self._send_json(status, {"error": message})
+        body: Dict[str, object] = {"error": message}
+        if error_id is not None:
+            body["error_id"] = error_id
+        self._send_json(status, body, extra_headers=extra_headers)
 
     def _send_json(
         self,

@@ -54,23 +54,31 @@ from __future__ import annotations
 
 import io
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api import recommendation_from_features
-from repro.errors import ValidationError
+from repro.errors import (
+    BreakerOpenError,
+    CorpusError,
+    OverloadedError,
+    ValidationError,
+)
 from repro.gpu.perf import model_run
 from repro.gpu.specs import PlatformSpec, scaled_platform
 from repro.graphs.corpus import PROFILES, load_graph
 from repro.graphs.graph import Graph
 from repro.graphs.io import read_matrix_market
-from repro.obs import get_obs
+from repro.obs import get_obs, logger
 from repro.reorder.base import reorder_with_timing
 from repro.reorder.registry import available_techniques, make_technique
 from repro.resilience import cell_deadline, check_deadline
 from repro.resilience.faults import fault_point
+from repro.serve.admission import Admission
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.coalesce import SingleFlight
 from repro.serve.store import PermutationStore, eval_key, perm_key, structure_digest
 from repro.sparse.convert import coo_to_csr
@@ -129,6 +137,20 @@ class ServeConfig:
     default_deadline_seconds: Optional[float] = None
     candidates: Tuple[str, ...] = DEFAULT_CANDIDATES
     max_upload_bytes: int = 16 * 1024 * 1024
+    #: Admission control: at most ``max_inflight`` reorderings run at
+    #: once, at most ``max_queue`` more wait up to ``queue_timeout``
+    #: seconds for a slot; anything beyond is shed as a 429.  Store
+    #: hits, coalesced followers and ``/v1/recommend`` bypass the gate.
+    max_inflight: int = 4
+    max_queue: int = 8
+    queue_timeout: float = 2.0
+    #: Circuit breakers around the compute and store fault domains
+    #: (see :mod:`repro.serve.breaker` for the state machine).
+    breaker_window: int = 16
+    breaker_min_failures: int = 4
+    breaker_failure_rate: float = 0.5
+    breaker_recovery_seconds: float = 2.0
+    breaker_probe_budget: int = 2
 
     def __post_init__(self) -> None:
         if self.profile not in PROFILES:
@@ -146,9 +168,15 @@ class ServeResult:
     """One handled request: deterministic body + transport metadata."""
 
     payload: Dict[str, object]
-    #: "hit" (store read), "miss" (computed here) or "coalesced"
-    #: (piggybacked on a concurrent identical computation).
+    #: "hit" (store read), "miss" (computed here), "coalesced"
+    #: (piggybacked on a concurrent identical computation), "predicted"
+    #: (``/v1/recommend``) or "degraded" (predictor-only fallback).
     store: str = "miss"
+    #: HTTP status the transport should use (202 for degraded answers).
+    status: int = 200
+    #: ``Retry-After`` hint in seconds, set on degraded answers so the
+    #: client knows when the compute tier is worth asking again.
+    retry_after: Optional[float] = None
 
 
 class ReorderService:
@@ -162,6 +190,25 @@ class ReorderService:
             else scaled_platform(self.config.profile)
         )
         self.store = PermutationStore(self.config.store_dir)
+        self.admission = Admission(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            queue_timeout=self.config.queue_timeout,
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                name,
+                window=self.config.breaker_window,
+                min_failures=self.config.breaker_min_failures,
+                failure_rate=self.config.breaker_failure_rate,
+                recovery_seconds=self.config.breaker_recovery_seconds,
+                probe_budget=self.config.breaker_probe_budget,
+            )
+            for name in ("compute", "store")
+        }
+        #: Recent 500s, keyed by error_id, for ledger correlation.
+        self._errors: deque = deque(maxlen=64)
+        self._errors_lock = threading.Lock()
         self._flight = SingleFlight()
         self._graph_lock = threading.Lock()
         self._corpus_graphs: Dict[str, Tuple[Graph, str]] = {}
@@ -223,6 +270,7 @@ class ReorderService:
                 "'mtx' (MatrixMarket text)"
             )
 
+        requested = technique
         label = f"serve:{name if name is not None else 'upload'}:{technique}"
         with cell_deadline(deadline, label):
             with get_obs().span("serve-load", matrix=name or "upload"):
@@ -233,13 +281,26 @@ class ReorderService:
                 technique, recommendation = self._recommend(
                     graph, digest, kernel, iterations
                 )
-            payload, store_state = self._evaluate(
-                graph, digest, technique, kernel, policy
-            )
+            try:
+                payload, store_state = self._evaluate(
+                    graph, digest, technique, kernel, policy
+                )
+            except BreakerOpenError as exc:
+                # Degraded mode: the compute tier is sick, but an
+                # "auto" request already has a full predictor answer —
+                # serve that (marked degraded, 202) instead of failing.
+                if recommendation is None:
+                    raise
+                get_obs().counter("serve.request.degrade")
+                return self._degraded_result(
+                    name, graph, digest, technique, kernel, policy,
+                    iterations, recommendation, exc,
+                )
 
         body: Dict[str, object] = {
             "v": WIRE_VERSION,
             "schema": RESPONSE_SCHEMA,
+            "degraded": False,
             "matrix": {
                 "name": name,
                 "digest": digest,
@@ -247,9 +308,7 @@ class ReorderService:
                 "nnz": graph.adjacency.nnz,
             },
             "technique": technique,
-            "requested_technique": self._str_field(
-                request, "technique", self.config.default_technique
-            ),
+            "requested_technique": requested,
             "kernel": kernel,
             "policy": policy,
             "impl": self._impl_name(),
@@ -263,6 +322,67 @@ class ReorderService:
             "permutation": payload["permutation"] if include_permutation else None,
         }
         return ServeResult(payload=body, store=store_state)
+
+    def _degraded_result(
+        self,
+        name: Optional[object],
+        graph: Graph,
+        digest: str,
+        technique: str,
+        kernel: str,
+        policy: str,
+        iterations: int,
+        recommendation: Dict[str, object],
+        exc: BreakerOpenError,
+    ) -> ServeResult:
+        """Predictor-only answer for an ``auto`` request under an open
+        compute breaker: same body shape as a normal response, but the
+        model numbers are *predicted* (no permutation, no store keys)
+        and ``"degraded": true`` tells the client to retry later for
+        the real evaluation."""
+        row: Dict[str, object] = {}
+        for candidate in recommendation.get("candidates", ()):
+            if candidate.get("technique") == technique:
+                row = candidate
+                break
+        else:
+            baseline = recommendation.get("baseline") or {}
+            if baseline.get("technique") == technique:
+                row = baseline
+        body: Dict[str, object] = {
+            "v": WIRE_VERSION,
+            "schema": RESPONSE_SCHEMA,
+            "degraded": True,
+            "matrix": {
+                "name": name,
+                "digest": digest,
+                "n_nodes": graph.n_nodes,
+                "nnz": graph.adjacency.nnz,
+            },
+            "technique": technique,
+            "requested_technique": "auto",
+            "kernel": kernel,
+            "policy": policy,
+            "impl": self._impl_name(),
+            "platform": self.platform.name,
+            "iterations": iterations,
+            "recommendation": recommendation,
+            "reorder_seconds": row.get("reorder_seconds"),
+            "perm_key": None,
+            "eval_key": None,
+            "model": {
+                "predicted": True,
+                "modeled_seconds": row.get("modeled_seconds"),
+                "total_seconds": row.get("total_seconds"),
+            },
+            "permutation": None,
+        }
+        return ServeResult(
+            payload=body,
+            store="degraded",
+            status=202,
+            retry_after=max(0.1, exc.retry_after),
+        )
 
     # -- matrix resolution ----------------------------------------------
 
@@ -297,61 +417,128 @@ class ReorderService:
     def _impl_name(self) -> str:
         return self.config.reorder_impl if self.config.reorder_impl else "auto"
 
+    # -- store access behind its circuit breaker -------------------------
+    #
+    # A sick store (failing disk, injected serve.store.* faults) must
+    # degrade the service to recompute-and-skip-persist, never fail a
+    # request: reads become misses, writes become no-ops, and once the
+    # failure rate trips the breaker the store is bypassed outright
+    # until half-open probes see it recover.
+
+    def _store_get(self, kind: str, key: str) -> Optional[Dict[str, object]]:
+        breaker = self.breakers["store"]
+        if not breaker.acquire():
+            get_obs().counter("serve.store.bypass")
+            return None
+        try:
+            value = self.store.get(kind, key)
+        except Exception:
+            breaker.failure()
+            logger.exception("serve: store get failed for %s/%s…", kind, key[:12])
+            return None
+        breaker.success()
+        return value
+
+    def _store_put(self, kind: str, key: str, payload: Dict[str, object]) -> None:
+        breaker = self.breakers["store"]
+        if not breaker.acquire():
+            get_obs().counter("serve.store.bypass")
+            return
+        try:
+            self.store.put(kind, key, payload)
+        except Exception:
+            breaker.failure()
+            logger.exception("serve: store put failed for %s/%s…", kind, key[:12])
+            return
+        breaker.success()
+
     def _evaluate(
         self, graph: Graph, digest: str, technique: str, kernel: str, policy: str
     ) -> Tuple[Dict[str, object], str]:
         """Evaluated (permutation, kernel) payload plus its store state."""
         impl = self._impl_name()
         key = eval_key(digest, technique, impl, kernel, policy, self.platform.name)
-        cached = self.store.get("eval", key)
+        cached = self._store_get("eval", key)
         if cached is not None:
             return cached, "hit"
 
         def compute() -> Dict[str, object]:
             # A concurrent flight (or another process) may have landed
             # the entry between our miss and winning the flight lead.
-            landed = self.store.get("eval", key)
+            landed = self._store_get("eval", key)
             if landed is not None:
                 return landed
-            get_obs().counter("serve.compute.eval")
-            fault_point("serve.compute", label=f"{technique}|{kernel}")
-            check_deadline()
-            with get_obs().span(
-                "serve-eval", technique=technique, kernel=kernel, policy=policy
-            ):
-                perm_payload = self._permutation(graph, digest, technique)
-                check_deadline()
-                perm = np.asarray(perm_payload["permutation"], dtype=np.int64)
-                permuted = permute_symmetric(graph.adjacency, perm)
-                check_deadline()
-                trace = KernelSpec.parse(kernel).build_trace(permuted, self.platform)
-                run = model_run(trace, self.platform, policy=policy)
-            payload: Dict[str, object] = {
-                "schema": RESPONSE_SCHEMA,
-                "eval_key": key,
-                "perm_key": perm_payload["perm_key"],
-                "matrix_digest": digest,
-                "technique": technique,
-                "impl": impl,
-                "kernel": kernel,
-                "policy": policy,
-                "platform": self.platform.name,
-                "reorder_seconds": perm_payload["seconds"],
-                "permutation": perm_payload["permutation"],
-                "model": {
-                    "normalized_traffic": run.normalized_traffic,
-                    "normalized_runtime": run.normalized_runtime,
-                    "traffic_bytes": run.traffic_bytes,
-                    "compulsory_bytes": run.compulsory_bytes,
-                    "modeled_seconds": run.modeled_seconds,
-                    "ideal_seconds": run.ideal_seconds,
-                    "hit_rate": run.stats.hit_rate,
-                    "dead_line_fraction": run.stats.dead_line_fraction,
-                    "accesses": run.stats.accesses,
-                    "misses": run.stats.misses,
-                },
-            }
-            self.store.put("eval", key, payload)
+            # Only genuine compute passes the breaker + admission gate:
+            # hits, coalesced followers and /v1/recommend never queue.
+            breaker = self.breakers["compute"]
+            if not breaker.acquire():
+                raise BreakerOpenError(
+                    f"compute breaker open ({technique}|{kernel})",
+                    retry_after=max(0.1, breaker.retry_after()),
+                )
+            try:
+                with self.admission.admit(label=f"{technique}|{kernel}"):
+                    get_obs().counter("serve.compute.eval")
+                    fault_point("serve.compute", label=f"{technique}|{kernel}")
+                    check_deadline()
+                    with get_obs().span(
+                        "serve-eval", technique=technique, kernel=kernel,
+                        policy=policy,
+                    ):
+                        perm_payload = self._permutation(graph, digest, technique)
+                        check_deadline()
+                        perm = np.asarray(
+                            perm_payload["permutation"], dtype=np.int64
+                        )
+                        permuted = permute_symmetric(graph.adjacency, perm)
+                        check_deadline()
+                        trace = KernelSpec.parse(kernel).build_trace(
+                            permuted, self.platform
+                        )
+                        run = model_run(trace, self.platform, policy=policy)
+                    payload: Dict[str, object] = {
+                        "schema": RESPONSE_SCHEMA,
+                        "eval_key": key,
+                        "perm_key": perm_payload["perm_key"],
+                        "matrix_digest": digest,
+                        "technique": technique,
+                        "impl": impl,
+                        "kernel": kernel,
+                        "policy": policy,
+                        "platform": self.platform.name,
+                        "reorder_seconds": perm_payload["seconds"],
+                        "permutation": perm_payload["permutation"],
+                        "model": {
+                            "normalized_traffic": run.normalized_traffic,
+                            "normalized_runtime": run.normalized_runtime,
+                            "traffic_bytes": run.traffic_bytes,
+                            "compulsory_bytes": run.compulsory_bytes,
+                            "modeled_seconds": run.modeled_seconds,
+                            "ideal_seconds": run.ideal_seconds,
+                            "hit_rate": run.stats.hit_rate,
+                            "dead_line_fraction": run.stats.dead_line_fraction,
+                            "accesses": run.stats.accesses,
+                            "misses": run.stats.misses,
+                        },
+                    }
+                    self._store_put("eval", key, payload)
+            except OverloadedError:
+                # Shed before the pipeline ran: says nothing about the
+                # compute tier's health, so no breaker outcome.
+                breaker.cancel()
+                raise
+            except (ValidationError, CorpusError):
+                # Client errors (e.g. a kernel spec incompatible with
+                # this matrix, caught during trace build) must not
+                # count against the compute tier: a burst of bad
+                # requests would otherwise open the breaker and take
+                # down service for well-formed ones.
+                breaker.cancel()
+                raise
+            except BaseException:
+                breaker.failure()
+                raise
+            breaker.success()
             return payload
 
         result, led = self._flight.do(f"eval:{key}", compute)
@@ -363,12 +550,14 @@ class ReorderService:
         """Store-backed, coalesced permutation computation."""
         impl = self._impl_name()
         key = perm_key(digest, technique, impl)
-        cached = self.store.get("perm", key)
+        cached = self._store_get("perm", key)
         if cached is not None:
             return cached
 
         def compute() -> Dict[str, object]:
-            landed = self.store.get("perm", key)
+            # Runs under the eval flight's admission slot and breaker
+            # accounting — no second gate here.
+            landed = self._store_get("perm", key)
             if landed is not None:
                 return landed
             get_obs().counter("serve.compute.permutation")
@@ -386,7 +575,7 @@ class ReorderService:
                 "seconds": timed.seconds,
                 "permutation": timed.permutation.tolist(),
             }
-            self.store.put("perm", key, payload)
+            self._store_put("perm", key, payload)
             return payload
 
         result, _led = self._flight.do(f"perm:{key}", compute)
@@ -544,11 +733,44 @@ class ReorderService:
             raise ValidationError(f"{key!r} must be a string, got {value!r}")
         return value
 
+    def record_error(
+        self, error_id: str, path: str, message: str, traceback_text: str = ""
+    ) -> None:
+        """Remember one 500 by its ``error_id`` (echoed to the client)
+        so the run-ledger record correlates a client-visible failure
+        with the server-side traceback."""
+        with self._errors_lock:
+            self._errors.append(
+                {
+                    "error_id": error_id,
+                    "path": path,
+                    "error": message,
+                    "traceback": traceback_text,
+                }
+            )
+
+    def recent_errors(self) -> List[Dict[str, object]]:
+        """The most recent 500s (bounded), oldest first."""
+        with self._errors_lock:
+            return list(self._errors)
+
     def stats(self) -> Dict[str, object]:
-        """Store/coalescing stats for the ``/stats`` endpoint."""
+        """Store/coalescing/overload stats for the ``/stats`` endpoint."""
         return {
             "store": self.store.stats(),
             "inflight": self._flight.inflight(),
+            "admission": {
+                "max_inflight": self.admission.max_inflight,
+                "max_queue": self.admission.max_queue,
+                "queue_timeout": self.admission.queue_timeout,
+                "inflight": self.admission.inflight(),
+                "queued": self.admission.depth(),
+            },
+            "breakers": {
+                name: breaker.snapshot()
+                for name, breaker in self.breakers.items()
+            },
+            "errors_recorded": len(self._errors),
             "profile": self.config.profile,
             "platform": self.platform.name,
         }

@@ -36,10 +36,16 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import CacheIntegrityError
 from repro.obs import get_obs
+from repro.resilience.faults import fault_point
 from repro.resilience.integrity import (
+    CacheScan,
+    LegacyCacheEntry,
     atomic_write_document,
     load_or_quarantine,
+    load_verified,
+    quarantine_file,
     wrap_payload,
 )
 
@@ -126,6 +132,11 @@ class PermutationStore:
         if not os.path.exists(path):
             get_obs().counter(f"serve.store.{kind}.miss")
             return None
+        # Chaos site: a ``corrupt`` rule here damages the entry before
+        # the verified read (exercising quarantine-on-read); ``raise``
+        # simulates a failing disk, which the service's store breaker
+        # degrades to a miss.
+        fault_point("serve.store.get", label=f"{kind}:{key[:12]}", path=path)
         payload = load_or_quarantine(path, cache_dir=self.root)
         if payload is None:
             get_obs().counter(f"serve.store.{kind}.miss")
@@ -137,8 +148,52 @@ class PermutationStore:
         """Persist ``payload`` under ``key``; returns the entry path."""
         path = self.path(kind, key)
         atomic_write_document(path, wrap_payload(payload))
+        # Chaos site, mirroring ``memo.write``: ``corrupt`` damages the
+        # just-written entry (caught by the next verified read or the
+        # startup scrub), ``raise`` simulates a failed persist.
+        fault_point("serve.store.put", label=f"{kind}:{key[:12]}", path=path)
         get_obs().counter(f"serve.store.{kind}.write")
         return path
+
+    def scan(self, quarantine: bool = False) -> CacheScan:
+        """Integrity-classify every entry (``repro doctor --store``).
+
+        Unlike the memo cache's flat :func:`scan_cache`, entries live in
+        a nested ``<kind>/<key[:2]>/`` layout, so this walks recursively
+        and reports store-relative names (``eval/4f/4f19c2….json``).
+        With ``quarantine=True``, damaged and legacy entries are moved
+        to ``<store>/quarantine/`` so they can never serve a bad hit —
+        the server runs exactly this scrub at startup.
+        """
+        scan = CacheScan(cache_dir=self.root)
+        for kind in KINDS:
+            kind_root = os.path.join(self.root, kind)
+            for dirpath, _dirnames, filenames in os.walk(kind_root):
+                for name in sorted(filenames):
+                    if not name.endswith(".json"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    rel = os.path.relpath(path, self.root)
+                    try:
+                        load_verified(path)
+                    except LegacyCacheEntry as exc:
+                        scan.legacy.append(rel)
+                        if quarantine:
+                            quarantine_file(
+                                path, cache_dir=self.root, reason=str(exc)
+                            )
+                    except CacheIntegrityError as exc:
+                        scan.damaged.append((rel, str(exc)))
+                        if quarantine:
+                            quarantine_file(
+                                path, cache_dir=self.root, reason=str(exc)
+                            )
+                    else:
+                        scan.ok.append(rel)
+        qdir = os.path.join(self.root, "quarantine")
+        if os.path.isdir(qdir):
+            scan.quarantined = sorted(os.listdir(qdir))
+        return scan
 
     def stats(self) -> Dict[str, object]:
         """Entry counts and byte totals per kind (for ``/stats``)."""

@@ -238,6 +238,58 @@ class TestDoctorCli:
         assert main(["doctor", "--cache-dir", str(tmp_path / "nowhere")]) == 0
         assert "(missing)" in capsys.readouterr().out
 
+    def test_store_scan_and_quarantine(self, tmp_path, capsys):
+        from repro.serve.store import PermutationStore, perm_key
+
+        store_dir = str(tmp_path / "serve-store")
+        store = PermutationStore(store_dir)
+        store.put("perm", perm_key("d0", "rcm", "auto"), {"permutation": [0]})
+        victim = store.put("perm", perm_key("d1", "rcm", "auto"), {"permutation": [1]})
+        assert main(["doctor", "--store", "--cache-dir", store_dir]) == 0
+        assert "store integrity: OK" in capsys.readouterr().out
+
+        with open(victim, "r+b") as handle:
+            handle.truncate(8)
+        assert main(["doctor", "--store", "--cache-dir", store_dir]) == 1
+        captured = capsys.readouterr()
+        assert "DAMAGED perm/" in captured.out
+        assert "damaged" in captured.err
+
+        assert main(
+            ["doctor", "--store", "--quarantine", "--cache-dir", store_dir]
+        ) == 1
+        assert "quarantined 1 entries" in capsys.readouterr().out
+        capsys.readouterr()
+        assert main(["doctor", "--store", "--cache-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "store integrity: OK" in out
+        assert "QUARANTINED" in out
+
+
+class TestServeCli:
+    def test_serve_overload_flags_parsed(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        for flag in (
+            "--max-inflight", "--max-queue", "--queue-timeout",
+            "--drain-timeout", "--breaker-min-failures", "--breaker-recovery",
+        ):
+            assert flag in out
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--overload", "--offered-factor", "--min-goodput"):
+            assert flag in out
+
+    def test_overload_bench_rejects_external_url(self, capsys):
+        # Overload mode spawns its own calibrated servers; pointing it
+        # at an external endpoint would shed against unknown capacity.
+        assert main(
+            ["serve-bench", "--overload", "--url", "http://localhost:1"]
+        ) == 2
+        assert "--overload" in capsys.readouterr().err
+
 
 class TestResilienceCli:
     def test_sweep_flags_parsed(self, capsys):
