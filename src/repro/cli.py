@@ -73,7 +73,7 @@ from repro.obs.ledger import (
     load_manifest,
     resolve_runs_dir,
 )
-from repro.reorder.benchreorder import BENCH_TECHNIQUES
+from repro.reorder.benchreorder import BENCH_TECHNIQUES, SCALE_GRAPH
 from repro.reorder.dispatch import IMPLS
 from repro.reorder.registry import available_techniques
 
@@ -174,6 +174,9 @@ def _make_instrumentation(
         enabled=enabled,
         run_id=ledger.run_id if ledger is not None else None,
         trace_dir=ledger.dir if ledger is not None else None,
+        # Ledger runs record per-phase peak RSS gauges into the
+        # manifest, so `repro runs show` surfaces out-of-core wins.
+        track_rss=ledger is not None,
     )
     args._ledger = ledger
     return instr, ledger
@@ -355,6 +358,51 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the BENCH_reorder.json payload to PATH",
+    )
+    bench_reorder.add_argument(
+        "--scale",
+        type=int,
+        nargs="?",
+        const=SCALE_GRAPH["scale"],
+        default=None,
+        metavar="N",
+        help="scale-out mode: one end-to-end pass on an R-MAT of 2^N "
+        f"nodes (default N={SCALE_GRAPH['scale']}) through the memmap "
+        "matrix cache, reporting nodes/s, sharded-detection speedup, "
+        "and peak RSS per phase",
+    )
+    bench_reorder.add_argument(
+        "--edge-factor",
+        type=int,
+        default=SCALE_GRAPH["edge_factor"],
+        help="scale-out mode: R-MAT edge factor "
+        f"(default {SCALE_GRAPH['edge_factor']})",
+    )
+    bench_reorder.add_argument(
+        "--seed",
+        type=int,
+        default=SCALE_GRAPH["seed"],
+        help=f"scale-out mode: R-MAT seed (default {SCALE_GRAPH['seed']})",
+    )
+    bench_reorder.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="scale-out mode: shard count for sharded detection and the "
+        "boba anchor scan (default 4)",
+    )
+    bench_reorder.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="scale-out mode: worker processes for the sharded passes "
+        "(default 1; never changes any permutation)",
+    )
+    bench_reorder.add_argument(
+        "--no-memmap",
+        action="store_true",
+        help="scale-out mode: build the matrix in RAM instead of "
+        "loading it through the memmap matrix cache",
     )
     bench_reorder.set_defaults(handler=_cmd_bench_reorder)
 
@@ -875,7 +923,7 @@ def _first_numeric_column(rows) -> Optional[int]:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     """One uncached pipeline run under a dedicated instrumentation."""
-    instr = Instrumentation(enabled=True)
+    instr = Instrumentation(enabled=True, track_rss=True)
     with obs.using(instr):
         runner = ExperimentRunner(
             args.profile, use_cache=False, reorder_impl=args.reorder_impl
@@ -1153,6 +1201,8 @@ def _cmd_bench_reorder(args: argparse.Namespace) -> int:
         run_bench,
     )
 
+    if args.scale is not None:
+        return _bench_reorder_scale(args)
     detect_graph, technique_graph = build_bench_graphs(smoke=args.smoke)
     if args.technique == "all":
         techniques = BENCH_TECHNIQUES
@@ -1179,6 +1229,61 @@ def _cmd_bench_reorder(args: argparse.Namespace) -> int:
     for name, speedup in payload["speedups"].items():
         suffix = " (detection throughput)" if name == DETECT_ROW else ""
         print(f"{name}: fast is {speedup:.1f}x reference{suffix}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _bench_reorder_scale(args: argparse.Namespace) -> int:
+    """``repro bench-reorder --scale N`` — the scale-out mode."""
+    from repro.reorder.benchreorder import run_scale_bench
+
+    payload = run_scale_bench(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        seed=args.seed,
+        n_shards=args.shards,
+        jobs=args.jobs,
+        use_memmap=not args.no_memmap,
+    )
+    workload = payload["workload"]
+    print(
+        f"scale workload: 2^{workload['scale']} = {workload['n_nodes']} nodes, "
+        f"{workload['nnz']} nnz ({workload['undirected_nnz']} symmetric), "
+        f"{'memmap' if workload['memmap'] else 'in-RAM'}, "
+        f"setup {workload['setup_seconds']:.1f}s"
+    )
+    detection = payload["detection"]
+    rows = [
+        [
+            mode,
+            f"{stats['seconds']:.3f}",
+            f"{stats['nodes_per_s']:,.0f}",
+            f"{stats['modularity']:.4f}",
+            f"{stats['n_communities']}",
+        ]
+        for mode, stats in (("single", detection["single"]), ("sharded", detection["sharded"]))
+    ]
+    print(render_table(["detection", "seconds", "nodes/s", "modularity", "communities"], rows))
+    print(
+        f"sharded detection ({detection['sharded']['n_shards']} shards, "
+        f"{detection['sharded']['jobs']} jobs) is "
+        f"{detection['sharded_speedup']:.2f}x single-shard"
+    )
+    rows = [
+        [r["name"], f"{r['seconds']:.3f}", f"{r['nodes_per_s']:,.0f}",
+         r["permutation_sha256"][:12]]
+        for r in payload["techniques"]
+    ]
+    print(render_table(["technique", "seconds", "nodes/s", "perm sha256"], rows))
+    rss = payload["rss_peak_kb"]
+    if rss:
+        print(
+            "peak RSS (KB): "
+            + ", ".join(f"{phase}={value}" for phase, value in rss.items())
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)

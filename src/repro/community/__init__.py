@@ -17,12 +17,20 @@ from repro.community.dendrogram import Dendrogram
 from repro.community.louvain import louvain
 from repro.community.modularity import modularity
 from repro.community.rabbit import RabbitResult, rabbit_communities
+from repro.community.sharded import (
+    ShardedRabbitResult,
+    shard_bounds,
+    sharded_rabbit_communities,
+)
 
 __all__ = [
     "CommunityAssignment",
     "Dendrogram",
     "RabbitResult",
+    "ShardedRabbitResult",
     "louvain",
     "modularity",
     "rabbit_communities",
+    "shard_bounds",
+    "sharded_rabbit_communities",
 ]

@@ -15,15 +15,38 @@ from repro.graphs.corpus import (
     load_matrix,
     selection_report,
 )
-from repro.graphs.io import read_matrix_market, write_matrix_market
+from repro.graphs.matrixcache import (
+    MIN_CACHE_SCALE,
+    build_rmat_cache,
+    cached_rmat_graph,
+    load_cached_graph,
+    rmat_cache_key,
+)
+from repro.graphs.io import (
+    MtxHeader,
+    iter_matrix_market_chunks,
+    mtx_to_memmap_csr,
+    read_matrix_market,
+    scan_matrix_market_header,
+    write_matrix_market,
+)
 
 __all__ = [
     "CorpusEntry",
     "Graph",
+    "MIN_CACHE_SCALE",
+    "MtxHeader",
+    "build_rmat_cache",
+    "cached_rmat_graph",
     "corpus_entries",
     "corpus_names",
+    "iter_matrix_market_chunks",
+    "load_cached_graph",
     "load_matrix",
+    "rmat_cache_key",
+    "mtx_to_memmap_csr",
     "read_matrix_market",
+    "scan_matrix_market_header",
     "selection_report",
     "write_matrix_market",
 ]

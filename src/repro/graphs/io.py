@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import io
 import os
-from typing import List, TextIO, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +24,11 @@ PathOrFile = Union[str, "os.PathLike[str]", TextIO]
 
 _FIELDS = ("real", "integer", "pattern")
 _SYMMETRIES = ("general", "symmetric")
+
+#: Entries per chunk for :func:`iter_matrix_market_chunks`.  1M entries
+#: keeps the resident text + parsed arrays around ~100 MB regardless of
+#: file size.
+DEFAULT_CHUNK_ENTRIES = 1 << 20
 
 
 def read_matrix_market(source: PathOrFile) -> COOMatrix:
@@ -128,21 +134,25 @@ def _parse_bulk(text: str) -> COOMatrix:
         values = table["value"]
 
     if symmetry == "symmetric":
-        # Expand mirrors *interleaved* — each off-diagonal entry is
-        # immediately followed by its transpose, matching the reference
-        # parser's append order entry for entry.
-        entry = np.repeat(
-            np.arange(n_entries, dtype=np.int64), 1 + (rows != cols)
-        )
-        mirror = np.zeros(entry.size, dtype=bool)
-        mirror[1:] = entry[1:] == entry[:-1]
-        out_rows = rows[entry]
-        out_cols = cols[entry]
-        out_rows[mirror] = cols[entry[mirror]]
-        out_cols[mirror] = rows[entry[mirror]]
-        rows, cols, values = out_rows, out_cols, values[entry]
+        rows, cols, values = _expand_symmetric(rows, cols, values)
 
     return COOMatrix(n_rows, n_cols, rows, cols, values)
+
+
+def _expand_symmetric(
+    rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand mirrors *interleaved* — each off-diagonal entry is
+    immediately followed by its transpose, matching the reference
+    parser's append order entry for entry."""
+    entry = np.repeat(np.arange(rows.size, dtype=np.int64), 1 + (rows != cols))
+    mirror = np.zeros(entry.size, dtype=bool)
+    mirror[1:] = entry[1:] == entry[:-1]
+    out_rows = rows[entry]
+    out_cols = cols[entry]
+    out_rows[mirror] = cols[entry[mirror]]
+    out_cols[mirror] = rows[entry[mirror]]
+    return out_rows, out_cols, values[entry]
 
 
 class _LineReader:
@@ -162,12 +172,25 @@ class _LineReader:
         return None
 
 
-def _read_stream(handle: TextIO, source: str = "<stream>") -> COOMatrix:
-    reader = _LineReader(handle)
+@dataclass(frozen=True)
+class MtxHeader:
+    """Parsed Matrix Market preamble (banner + size line)."""
 
-    def fail(message: str) -> FormatError:
-        return FormatError(f"{source}:{reader.lineno}: {message}")
+    field: str
+    symmetry: str
+    n_rows: int
+    n_cols: int
+    n_entries: int
 
+
+def _parse_preamble(
+    handle: TextIO, reader: _LineReader, fail: Callable[[str], FormatError]
+) -> MtxHeader:
+    """Parse banner + size line; the single source of preamble errors.
+
+    Shared by the line-by-line reference parser and the chunked reader
+    so both emit byte-identical ``source:lineno`` diagnostics.
+    """
     header = handle.readline()
     reader.lineno = 1
     if not header.startswith("%%MatrixMarket"):
@@ -195,44 +218,68 @@ def _read_stream(handle: TextIO, source: str = "<stream>") -> COOMatrix:
         n_rows, n_cols, n_entries = (int(part) for part in parts)
     except ValueError as exc:
         raise fail(f"non-integer size line {size_line!r}: {exc}") from exc
+    return MtxHeader(field, symmetry, n_rows, n_cols, n_entries)
+
+
+def _parse_entry(line: str, field: str) -> Tuple[int, int, float]:
+    """Parse one data line; the single source of per-entry errors.
+
+    Raises an *unprefixed* :class:`FormatError`; callers re-raise via
+    their ``fail`` helper to attach the ``source:lineno`` prefix, which
+    keeps the reference parser and the chunked fallback byte-identical.
+    """
+    fields = line.split()
+    if field == "pattern":
+        if len(fields) < 2:
+            raise FormatError(f"malformed pattern entry: {line!r}")
+        value = 1.0
+    else:
+        if len(fields) < 3:
+            raise FormatError(f"malformed entry: {line!r}")
+        try:
+            value = float(fields[2])
+        except ValueError as exc:
+            raise FormatError(f"non-numeric value in entry {line!r}: {exc}") from exc
+    try:
+        row = int(fields[0]) - 1
+        col = int(fields[1]) - 1
+    except ValueError as exc:
+        raise FormatError(f"non-integer coordinate in entry {line!r}: {exc}") from exc
+    return row, col, value
+
+
+def _read_stream(handle: TextIO, source: str = "<stream>") -> COOMatrix:
+    reader = _LineReader(handle)
+
+    def fail(message: str) -> FormatError:
+        return FormatError(f"{source}:{reader.lineno}: {message}")
+
+    header = _parse_preamble(handle, reader, fail)
 
     rows: List[int] = []
     cols: List[int] = []
     values: List[float] = []
-    for _ in range(n_entries):
+    for _ in range(header.n_entries):
         line = reader.next_data_line()
         if line is None:
             raise fail(
-                f"file ended after {len(rows)} of {n_entries} declared entries"
+                f"file ended after {len(rows)} of {header.n_entries} declared entries"
             )
-        fields = line.split()
-        if field == "pattern":
-            if len(fields) < 2:
-                raise fail(f"malformed pattern entry: {line!r}")
-            value = 1.0
-        else:
-            if len(fields) < 3:
-                raise fail(f"malformed entry: {line!r}")
-            try:
-                value = float(fields[2])
-            except ValueError as exc:
-                raise fail(f"non-numeric value in entry {line!r}: {exc}") from exc
         try:
-            row = int(fields[0]) - 1
-            col = int(fields[1]) - 1
-        except ValueError as exc:
-            raise fail(f"non-integer coordinate in entry {line!r}: {exc}") from exc
+            row, col, value = _parse_entry(line, header.field)
+        except FormatError as exc:
+            raise fail(str(exc)) from exc
         rows.append(row)
         cols.append(col)
         values.append(value)
-        if symmetry == "symmetric" and row != col:
+        if header.symmetry == "symmetric" and row != col:
             rows.append(col)
             cols.append(row)
             values.append(value)
 
     return COOMatrix(
-        n_rows,
-        n_cols,
+        header.n_rows,
+        header.n_cols,
         np.asarray(rows, dtype=np.int64),
         np.asarray(cols, dtype=np.int64),
         np.asarray(values, dtype=np.float64),
@@ -255,3 +302,169 @@ def _write_stream(matrix: COOMatrix, handle: TextIO, comment: str) -> None:
     handle.write(f"{matrix.n_rows} {matrix.n_cols} {matrix.nnz}\n")
     for row, col, value in zip(matrix.rows, matrix.cols, matrix.values):
         handle.write(f"{int(row) + 1} {int(col) + 1} {value:.17g}\n")
+
+
+# -- chunked (out-of-core) reading --------------------------------------
+
+
+def scan_matrix_market_header(path: Union[str, "os.PathLike[str]"]) -> MtxHeader:
+    """Parse only the banner + size line of a ``.mtx`` file on disk."""
+    source = os.fspath(path)
+    with open(source, "r", encoding="utf-8") as handle:
+        reader = _LineReader(handle)
+
+        def fail(message: str) -> FormatError:
+            return FormatError(f"{source}:{reader.lineno}: {message}")
+
+        return _parse_preamble(handle, reader, fail)
+
+
+def iter_matrix_market_chunks(
+    path: Union[str, "os.PathLike[str]"],
+    chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Stream a coordinate ``.mtx`` file as ``(rows, cols, values)`` chunks.
+
+    Never holds more than ``chunk_entries`` parsed entries (plus their
+    raw text) in memory, so a scale-20 file flows through without
+    materializing a :class:`COOMatrix`.  Symmetric files are expanded
+    per chunk with the same interleaved mirror order as
+    :func:`read_matrix_market`, and indices are 0-based on the way out.
+
+    Error parity with the reference parser is a contract: each chunk is
+    bulk-tokenized with ``np.loadtxt`` and, on any irregularity,
+    re-parsed line by line through the same ``_parse_entry`` helper the
+    reference parser uses, raising :class:`FormatError` with the exact
+    ``source:lineno: message`` text a whole-file parse would have
+    produced — a corrupt entry mid-file names its physical line even
+    when it sits millions of entries in.
+    """
+    if chunk_entries < 1:
+        raise FormatError(f"chunk_entries must be positive, got {chunk_entries}")
+    source = os.fspath(path)
+    with open(source, "r", encoding="utf-8") as handle:
+        reader = _LineReader(handle)
+
+        def fail(message: str) -> FormatError:
+            return FormatError(f"{source}:{reader.lineno}: {message}")
+
+        header = _parse_preamble(handle, reader, fail)
+        remaining = header.n_entries
+        expanded_total = 0  # mirrors included, matching the reference count
+        while remaining > 0:
+            take = min(remaining, chunk_entries)
+            lines: List[str] = []
+            linenos: List[int] = []
+            while len(lines) < take:
+                line = reader.next_data_line()
+                if line is None:
+                    # Parse what was collected first: a malformed entry
+                    # earlier in the file outranks the truncation, just
+                    # as it would in sequential parsing.
+                    rows, cols, values = _parse_chunk_lines(
+                        lines, linenos, header.field, source
+                    )
+                    if header.symmetry == "symmetric":
+                        rows, cols, values = _expand_symmetric(rows, cols, values)
+                    raise fail(
+                        f"file ended after {expanded_total + rows.size} of "
+                        f"{header.n_entries} declared entries"
+                    )
+                lines.append(line)
+                linenos.append(reader.lineno)
+            rows, cols, values = _parse_chunk_lines(
+                lines, linenos, header.field, source
+            )
+            bad = (
+                (rows < 0)
+                | (rows >= header.n_rows)
+                | (cols < 0)
+                | (cols >= header.n_cols)
+            )
+            if bad.any():
+                first = int(np.flatnonzero(bad)[0])
+                raise FormatError(
+                    f"{source}:{linenos[first]}: entry out of bounds for "
+                    f"{header.n_rows}x{header.n_cols} matrix: {lines[first]!r}"
+                )
+            if header.symmetry == "symmetric":
+                rows, cols, values = _expand_symmetric(rows, cols, values)
+            expanded_total += rows.size
+            remaining -= take
+            yield rows, cols, values
+
+
+def _parse_chunk_lines(
+    lines: List[str], linenos: List[int], field: str, source: str
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Parse a batch of data lines, fast path first, exact errors second."""
+    if not lines:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=np.float64)
+    if field == "pattern":
+        dtype = [("row", np.int64), ("col", np.int64)]
+    else:
+        dtype = [("row", np.int64), ("col", np.int64), ("value", np.float64)]
+    try:
+        table = np.loadtxt(lines, dtype=dtype, comments=None, ndmin=1)
+        if table.shape[0] != len(lines):
+            raise _Fallback
+    except Exception:
+        # Reparse sequentially so the *first* offending line wins, with
+        # its recorded physical line number.
+        rows_list: List[int] = []
+        cols_list: List[int] = []
+        values_list: List[float] = []
+        for lineno, line in zip(linenos, lines):
+            try:
+                row, col, value = _parse_entry(line, field)
+            except FormatError as exc:
+                raise FormatError(f"{source}:{lineno}: {exc}") from exc
+            rows_list.append(row)
+            cols_list.append(col)
+            values_list.append(value)
+        return (
+            np.asarray(rows_list, dtype=np.int64),
+            np.asarray(cols_list, dtype=np.int64),
+            np.asarray(values_list, dtype=np.float64),
+        )
+    rows = table["row"] - 1
+    cols = table["col"] - 1
+    if field == "pattern":
+        values = np.ones(len(lines), dtype=np.float64)
+    else:
+        values = table["value"]
+    return rows, cols, values
+
+
+def mtx_to_memmap_csr(
+    path: Union[str, "os.PathLike[str]"],
+    directory: str,
+    chunk_entries: int = DEFAULT_CHUNK_ENTRIES,
+    extra_meta: Optional[Dict[str, object]] = None,
+):
+    """Convert a ``.mtx`` file straight to an on-disk memmap CSR.
+
+    The file is streamed twice (row histogram, then scatter) through
+    :func:`iter_matrix_market_chunks`; peak memory is one chunk plus
+    the memory-mapped output arrays, independent of nnz.  Entry
+    ordering matches ``coo_to_csr(read_matrix_market(path))`` exactly.
+    Returns the loaded memmap-backed :class:`~repro.sparse.csr.CSRMatrix`.
+    """
+    from repro.sparse.memmap import csr_from_coo_chunks
+
+    header = scan_matrix_market_header(path)
+    meta: Dict[str, object] = {
+        "source": os.fspath(path),
+        "field": header.field,
+        "symmetry": header.symmetry,
+        "declared_entries": header.n_entries,
+    }
+    meta.update(extra_meta or {})
+    return csr_from_coo_chunks(
+        lambda: iter_matrix_market_chunks(path, chunk_entries),
+        header.n_rows,
+        header.n_cols,
+        directory,
+        extra_meta=meta,
+    )

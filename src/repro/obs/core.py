@@ -92,6 +92,7 @@ class Instrumentation:
         tags: Optional[Mapping[str, object]] = None,
         parent_span_id: Optional[str] = None,
         trace_dir: Optional[str] = None,
+        track_rss: bool = False,
     ) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.clock = clock if clock is not None else MonotonicClock()
@@ -106,6 +107,12 @@ class Instrumentation:
         #: into (``events-w<pid>.jsonl``); ``None`` disables worker
         #: event capture.  Set by the CLI when a run ledger is active.
         self.trace_dir = trace_dir
+        #: When set, every finished span also records the process peak
+        #: RSS as a ``rss.peak_kb.<span name>`` gauge (plus the overall
+        #: ``rss.peak_kb``).  Opt-in: gauges land in run-ledger
+        #: manifests, and consumers that assert exact gauge sets should
+        #: not see RSS rows appear unbidden.
+        self.track_rss = bool(track_rss)
         self.counters = CounterRegistry()
         self._local = threading.local()
         self._agg_lock = threading.Lock()
@@ -167,6 +174,15 @@ class Instrumentation:
                 total.calls += 1
                 total.seconds += record.seconds
             self.counters.observe(name, record.seconds)
+            if self.track_rss:
+                from repro.obs.rss import RSS_GAUGE_PREFIX, peak_rss_kb
+
+                peak = peak_rss_kb()
+                if peak is not None:
+                    # ru_maxrss is monotonic, so last-write-wins per
+                    # gauge equals the max over this span name's runs.
+                    self.counters.set_gauge(f"{RSS_GAUGE_PREFIX}.{name}", peak)
+                    self.counters.set_gauge(RSS_GAUGE_PREFIX, peak)
             self.sink.emit(
                 {
                     "kind": "span",

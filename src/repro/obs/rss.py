@@ -1,0 +1,41 @@
+"""Peak resident-set-size sampling for out-of-core visibility.
+
+The point of the memmap pipeline is that a scale-20 matrix flows
+through detection and ordering without its nnz-sized arrays being
+resident; ``ru_maxrss`` is the ground truth that it actually happened.
+:func:`peak_rss_kb` reads the process high-water mark via
+``resource.getrusage`` — monotonic over the process lifetime, so
+recording it *at span end* and merging gauges max-wins across
+processes (the existing :meth:`CounterRegistry.merge_gauges` rule)
+yields the true fleet-wide peak.
+
+``resource`` is POSIX-only; on platforms without it every probe
+returns ``None`` and RSS tracking degrades to a silent no-op.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+#: Gauge-name prefix for per-span peaks: ``rss.peak_kb.<span name>``.
+RSS_GAUGE_PREFIX = "rss.peak_kb"
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Process peak RSS in kilobytes, or ``None`` if unavailable.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalized
+    here so gauges are comparable across platforms.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)

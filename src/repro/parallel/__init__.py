@@ -30,6 +30,7 @@ from repro.parallel.executor import (
     precompute,
 )
 from repro.parallel.planner import driver_plan, plan_cells
+from repro.parallel.pool import map_in_pool
 
 __all__ = [
     "METRICS",
@@ -41,6 +42,7 @@ __all__ = [
     "dedupe_cells",
     "driver_plan",
     "execute_cells",
+    "map_in_pool",
     "metrics_cell",
     "plan_cells",
     "precompute",

@@ -1,0 +1,48 @@
+"""Order-preserving process-pool map for coarse-grained shard work.
+
+:mod:`repro.parallel.executor` is built around experiment cells and
+memo-cache bookkeeping; shard-level parallelism (sharded community
+detection, bucket placement) needs something much smaller: run ``fn``
+over a handful of picklable payloads in worker processes and hand the
+results back *in input order*.  Input-order results are what make the
+callers deterministic — a run with ``jobs=8`` must produce the byte-for-
+byte output of ``jobs=1``, so nothing downstream may depend on
+completion order.
+
+``jobs <= 1`` (or a single item) runs inline with no pool, preserving
+the sequential path exactly — same code, same process, easier to debug
+and to differential-test against.
+
+Workers use the ``spawn`` start method like the experiment executor:
+fork would duplicate the parent's (possibly multi-GB, memmap-backed)
+address space and any open instrumentation sinks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def map_in_pool(
+    fn: Callable[[ItemT], ResultT], items: Sequence[ItemT], jobs: int = 1
+) -> List[ResultT]:
+    """``[fn(item) for item in items]``, optionally across processes.
+
+    ``fn`` must be a module-level callable and every item/result must be
+    picklable when ``jobs > 1``.  Results are returned in input order
+    regardless of completion order; a worker exception propagates to the
+    caller (remaining work is abandoned).
+    """
+    work = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(int(jobs), len(work)), mp_context=context
+    ) as pool:
+        return list(pool.map(fn, work))

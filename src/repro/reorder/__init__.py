@@ -16,10 +16,11 @@ characterized by the paper:
 """
 
 from repro.reorder.base import ReorderingTechnique, TimedReordering, reorder_with_timing
+from repro.reorder.boba import BobaOrder
 from repro.reorder.simple import OriginalOrder, RandomOrder
 from repro.reorder.degree import DBG, DegSort, HubCluster, HubSort
 from repro.reorder.gorder import GOrder
-from repro.reorder.rabbit import RabbitOrder
+from repro.reorder.rabbit import RabbitOrder, RabbitShardedOrder
 from repro.reorder.rabbitpp import HubPolicy, RabbitPlusPlus
 from repro.reorder.rcm import ReverseCuthillMcKee
 from repro.reorder.slashburn import SlashBurn
@@ -30,6 +31,7 @@ from repro.reorder.registry import (
 )
 
 __all__ = [
+    "BobaOrder",
     "DBG",
     "DegSort",
     "GOrder",
@@ -39,6 +41,7 @@ __all__ = [
     "OriginalOrder",
     "PAPER_TECHNIQUES",
     "RabbitOrder",
+    "RabbitShardedOrder",
     "RabbitPlusPlus",
     "RandomOrder",
     "ReorderingTechnique",

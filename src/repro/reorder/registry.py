@@ -10,12 +10,13 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import ValidationError
 from repro.reorder.base import ReorderingTechnique
+from repro.reorder.boba import BobaOrder
 from repro.reorder.dispatch import resolve_impl
 from repro.reorder.bisection import RecursiveBisection
 from repro.reorder.degree import DBG, DegSort, HubCluster, HubSort
 from repro.reorder.gorder import GOrder
 from repro.reorder.louvain_order import LouvainOrder
-from repro.reorder.rabbit import RabbitOrder
+from repro.reorder.rabbit import RabbitOrder, RabbitShardedOrder
 from repro.reorder.rabbitpp import HubPolicy, RabbitPlusPlus
 from repro.reorder.rcm import ReverseCuthillMcKee
 from repro.reorder.simple import OriginalOrder, RandomOrder
@@ -49,6 +50,8 @@ _FACTORIES: Dict[str, Callable[[], ReorderingTechnique]] = {
     "rcm": ReverseCuthillMcKee,
     "slashburn": SlashBurn,
     "rabbit": RabbitOrder,
+    "rabbit-sharded": RabbitShardedOrder,
+    "boba": BobaOrder,
     "rabbit++": RabbitPlusPlus,
     "rabbit+insular": lambda: RabbitPlusPlus(
         group_insular=True, hub_policy=HubPolicy.NONE

@@ -14,6 +14,15 @@ from repro.sparse.csr import CSRMatrix
 from repro.sparse.convert import coo_to_csr, csr_to_coo
 from repro.sparse.kernels import spmm_csr, spmv_coo, spmv_csr, spmv_csr_tiled
 from repro.sparse.mask import restrict_to_nodes
+from repro.sparse.memmap import (
+    coo_chunks_from_csr,
+    csr_from_coo_chunks,
+    is_memmap_backed,
+    load_csr_memmap,
+    save_csr_memmap,
+    stream_row_blocks,
+    symmetrize_to_memmap,
+)
 from repro.sparse.ops import (
     drop_self_loops,
     merge_duplicates,
@@ -26,12 +35,17 @@ __all__ = [
     "COOMatrix",
     "CSCMatrix",
     "CSRMatrix",
+    "coo_chunks_from_csr",
     "coo_to_csc",
     "coo_to_csr",
     "csc_to_coo",
+    "csr_from_coo_chunks",
     "csr_to_coo",
     "drop_self_loops",
+    "is_memmap_backed",
+    "load_csr_memmap",
     "merge_duplicates",
+    "save_csr_memmap",
     "permute_symmetric",
     "restrict_to_nodes",
     "spmm_csr",
@@ -39,6 +53,8 @@ __all__ = [
     "spmv_csc",
     "spmv_csr",
     "spmv_csr_tiled",
+    "stream_row_blocks",
     "symmetrize",
+    "symmetrize_to_memmap",
     "transpose",
 ]

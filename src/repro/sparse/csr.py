@@ -75,6 +75,53 @@ class CSRMatrix:
             self.values = vals
         self._check_invariants()
 
+    @classmethod
+    def from_verified_arrays(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        row_offsets: np.ndarray,
+        col_indices: np.ndarray,
+        values: np.ndarray,
+    ) -> "CSRMatrix":
+        """Construct without the O(nnz) invariant scans.
+
+        For arrays whose invariants were already established and recorded
+        — e.g. a memory-mapped matrix whose checksummed metadata was
+        written by :func:`repro.sparse.memmap.save_csr_memmap` at save
+        time.  Running ``_check_invariants`` on an ``np.memmap`` would
+        page the entire matrix into RAM, defeating the out-of-core path.
+        Arrays must already carry the canonical dtypes
+        (``INDEX_DTYPE``/``VALUE_DTYPE``) and lengths; only those cheap
+        shape/dtype facts are re-checked here.
+        """
+        matrix = object.__new__(cls)
+        matrix.n_rows = int(n_rows)
+        matrix.n_cols = int(n_cols)
+        if row_offsets.dtype != INDEX_DTYPE or col_indices.dtype != INDEX_DTYPE:
+            raise FormatError(
+                "from_verified_arrays requires canonical index dtype "
+                f"{np.dtype(INDEX_DTYPE)}, got {row_offsets.dtype}/{col_indices.dtype}"
+            )
+        if values.dtype != VALUE_DTYPE:
+            raise FormatError(
+                f"from_verified_arrays requires canonical value dtype "
+                f"{np.dtype(VALUE_DTYPE)}, got {values.dtype}"
+            )
+        if row_offsets.size != matrix.n_rows + 1:
+            raise ShapeError(
+                f"row_offsets must have length n_rows + 1 = {matrix.n_rows + 1}, "
+                f"got shape {row_offsets.shape}"
+            )
+        if values.shape != col_indices.shape:
+            raise ShapeError(
+                f"values shape {values.shape} != col_indices shape {col_indices.shape}"
+            )
+        matrix.row_offsets = row_offsets
+        matrix.col_indices = col_indices
+        matrix.values = values
+        return matrix
+
     def _check_invariants(self) -> None:
         offsets = self.row_offsets
         if offsets[0] != 0:

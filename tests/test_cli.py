@@ -324,3 +324,47 @@ class TestResilienceCli:
             ]
         ) == 0
         assert "fig3" in capsys.readouterr().out
+
+
+class TestScaleBenchCli:
+    def test_bench_reorder_scale_mode(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out_path = tmp_path / "BENCH_reorder.json"
+        assert main(
+            [
+                "bench-reorder",
+                "--scale", "9",
+                "--edge-factor", "8",
+                "--shards", "2",
+                "--jobs", "1",
+                "--json", str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scale workload: 2^9 = 512 nodes" in out
+        assert "sharded detection" in out
+        assert "peak RSS (KB):" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["mode"] == "scale"
+        assert payload["workload"]["memmap"] is True
+        assert payload["detection"]["sharded"]["labels_sha256"]
+        names = [row["name"] for row in payload["techniques"]]
+        assert names == ["rabbit", "boba", "dbg"]
+        assert all(row["permutation_sha256"] for row in payload["techniques"])
+        assert payload["rss_peak_kb"]["overall"] > 0
+
+    def test_scale_mode_no_memmap_stays_in_ram(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out_path = tmp_path / "bench.json"
+        assert main(
+            [
+                "bench-reorder",
+                "--scale", "8",
+                "--edge-factor", "8",
+                "--no-memmap",
+                "--json", str(out_path),
+            ]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["workload"]["memmap"] is False
+        assert not (tmp_path / "cache" / "matrices").exists()

@@ -265,3 +265,40 @@ class TestFormatSpanTotals:
 
     def test_empty(self):
         assert format_span_totals({}) == "(no spans recorded)"
+
+
+class TestRssTracking:
+    def test_peak_rss_kb_positive_on_posix(self):
+        from repro.obs.rss import peak_rss_kb
+
+        peak = peak_rss_kb()
+        assert peak is not None and peak > 0
+
+    def test_peak_rss_is_monotonic(self):
+        from repro.obs.rss import peak_rss_kb
+
+        first = peak_rss_kb()
+        ballast = bytearray(8 << 20)  # noqa: F841 - grow the high-water mark
+        assert peak_rss_kb() >= first
+
+    def test_span_records_rss_gauges_when_enabled(self):
+        instr = Instrumentation(track_rss=True)
+        with instr.span("detect"):
+            pass
+        gauges = instr.counters.snapshot()["gauges"]
+        assert gauges["rss.peak_kb.detect"] > 0
+        assert gauges["rss.peak_kb"] >= gauges["rss.peak_kb.detect"]
+
+    def test_rss_gauges_off_by_default(self):
+        instr = Instrumentation()
+        with instr.span("detect"):
+            pass
+        gauges = instr.counters.snapshot()["gauges"]
+        assert not any(name.startswith("rss.") for name in gauges)
+
+    def test_rss_gauges_merge_max_wins(self):
+        registry = CounterRegistry()
+        registry.set_gauge("rss.peak_kb", 100)
+        registry.merge_gauges({"rss.peak_kb": 250})
+        registry.merge_gauges({"rss.peak_kb": 50})
+        assert registry.snapshot()["gauges"]["rss.peak_kb"] == 250

@@ -1,0 +1,199 @@
+"""Memmap CSR storage: save/load integrity, chunked builds, symmetrize."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CacheIntegrityError, FormatError
+from repro.graphs.graph import Graph
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.memmap import (
+    coo_chunks_from_csr,
+    csr_from_coo_chunks,
+    is_memmap_backed,
+    load_csr_memmap,
+    read_memmap_meta,
+    save_csr_memmap,
+    stream_row_blocks,
+    symmetrize_to_memmap,
+)
+
+
+def random_coo(n, nnz, seed, duplicates=False):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    if duplicates:
+        rows[: nnz // 4] = rows[nnz // 2: nnz // 2 + nnz // 4]
+        cols[: nnz // 4] = cols[nnz // 2: nnz // 2 + nnz // 4]
+    return COOMatrix(n, n, rows, cols, values=rng.normal(size=nnz))
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        matrix = coo_to_csr(random_coo(50, 400, seed=1))
+        directory = str(tmp_path / "m")
+        save_csr_memmap(matrix, directory, extra_meta={"origin": "test"})
+        loaded = load_csr_memmap(directory, verify_arrays=True)
+        assert is_memmap_backed(loaded)
+        assert not is_memmap_backed(matrix)
+        assert np.array_equal(loaded.row_offsets, matrix.row_offsets)
+        assert np.array_equal(loaded.col_indices, matrix.col_indices)
+        assert np.array_equal(loaded.values, matrix.values)
+        assert read_memmap_meta(directory)["extra"] == {"origin": "test"}
+
+    def test_empty_matrix(self, tmp_path):
+        matrix = coo_to_csr(COOMatrix(4, 4, [], []))
+        directory = str(tmp_path / "empty")
+        save_csr_memmap(matrix, directory)
+        loaded = load_csr_memmap(directory)
+        assert loaded.nnz == 0
+        assert np.array_equal(loaded.row_offsets, matrix.row_offsets)
+
+    def test_truncated_array_detected(self, tmp_path):
+        matrix = coo_to_csr(random_coo(20, 100, seed=2))
+        directory = str(tmp_path / "m")
+        save_csr_memmap(matrix, directory)
+        path = os.path.join(directory, "col_indices.bin")
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 8)
+        with pytest.raises(CacheIntegrityError, match="bytes"):
+            load_csr_memmap(directory)
+
+    def test_flipped_bit_detected_by_array_verify(self, tmp_path):
+        matrix = coo_to_csr(random_coo(20, 100, seed=3))
+        directory = str(tmp_path / "m")
+        save_csr_memmap(matrix, directory)
+        path = os.path.join(directory, "values.bin")
+        with open(path, "r+b") as handle:
+            handle.seek(16)
+            byte = handle.read(1)
+            handle.seek(16)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        # Routine load only checks lengths; the audit catches the flip.
+        load_csr_memmap(directory)
+        with pytest.raises(CacheIntegrityError, match="checksum"):
+            load_csr_memmap(directory, verify_arrays=True)
+
+    def test_damaged_meta_detected(self, tmp_path):
+        matrix = coo_to_csr(random_coo(10, 30, seed=4))
+        directory = str(tmp_path / "m")
+        save_csr_memmap(matrix, directory)
+        meta = os.path.join(directory, "meta.json")
+        with open(meta) as handle:
+            document = json.load(handle)
+        document["payload"]["nnz"] = 999
+        with open(meta, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(CacheIntegrityError):
+            load_csr_memmap(directory)
+
+
+class TestChunkedBuild:
+    def chunk_stream(self, coo, chunk):
+        def chunks():
+            for start in range(0, coo.nnz, chunk):
+                stop = min(start + chunk, coo.nnz)
+                yield coo.rows[start:stop], coo.cols[start:stop], coo.values[start:stop]
+
+        return chunks
+
+    @pytest.mark.parametrize("chunk", [7, 64, 10_000])
+    def test_matches_coo_to_csr(self, tmp_path, chunk):
+        coo = random_coo(64, 700, seed=5, duplicates=True)
+        reference = coo_to_csr(coo)
+        built = csr_from_coo_chunks(
+            self.chunk_stream(coo, chunk), 64, 64, str(tmp_path / f"c{chunk}")
+        )
+        assert is_memmap_backed(built)
+        assert np.array_equal(built.row_offsets, reference.row_offsets)
+        assert np.array_equal(built.col_indices, reference.col_indices)
+        # Duplicate (row, col) values must keep stream order too.
+        assert np.array_equal(built.values, reference.values)
+
+    def test_empty_stream(self, tmp_path):
+        built = csr_from_coo_chunks(lambda: iter(()), 5, 5, str(tmp_path / "e"))
+        assert built.nnz == 0
+        assert built.n_rows == 5
+
+    def test_rejects_non_callable(self, tmp_path):
+        with pytest.raises(FormatError, match="callable"):
+            csr_from_coo_chunks(iter(()), 2, 2, str(tmp_path / "x"))
+
+    def test_rejects_out_of_bounds_columns(self, tmp_path):
+        def chunks():
+            yield (
+                np.asarray([0], dtype=np.int64),
+                np.asarray([9], dtype=np.int64),
+                np.asarray([1.0]),
+            )
+
+        with pytest.raises(FormatError, match="out of bounds"):
+            csr_from_coo_chunks(lambda: chunks(), 3, 3, str(tmp_path / "x"))
+
+
+class TestStreamRowBlocks:
+    def test_covers_all_rows_within_budget(self):
+        offsets = np.asarray([0, 3, 3, 10, 11, 30, 31], dtype=np.int64)
+        blocks = list(stream_row_blocks(offsets, 6, max_entries=8))
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 6
+        for (_, hi), (lo, _) in zip(blocks, blocks[1:]):
+            assert hi == lo
+        for lo, hi in blocks:
+            size = int(offsets[hi] - offsets[lo])
+            assert size <= 8 or hi == lo + 1  # oversized single row
+
+    def test_replayable_chunks_match_entries(self):
+        coo = random_coo(30, 200, seed=6)
+        matrix = coo_to_csr(coo)
+        chunks = coo_chunks_from_csr(matrix)
+        for _ in range(2):  # replay twice, like the builder does
+            rows = np.concatenate([r for r, _, _ in chunks()])
+            cols = np.concatenate([c for _, c, _ in chunks()])
+            assert rows.size == matrix.nnz
+            expected_rows = np.repeat(
+                np.arange(matrix.n_rows), np.diff(matrix.row_offsets)
+            )
+            assert np.array_equal(rows, expected_rows)
+            assert np.array_equal(cols, matrix.col_indices)
+
+
+class TestSymmetrizeToMemmap:
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_matches_to_undirected(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        nnz = 600
+        rows = rng.integers(0, 40, size=nnz)
+        cols = rng.integers(0, 40, size=nnz)
+        # Unit values + pre-deduped entries: the generator pipeline.
+        keys = np.unique(rows * 40 + cols)
+        coo = COOMatrix(40, 40, keys // 40, keys % 40)
+        graph = Graph(coo_to_csr(coo), directed=True)
+        reference = graph.to_undirected().adjacency
+        built = symmetrize_to_memmap(graph.adjacency, str(tmp_path / f"s{seed}"))
+        assert is_memmap_backed(built)
+        assert np.array_equal(built.row_offsets, reference.row_offsets)
+        assert np.array_equal(built.col_indices, reference.col_indices)
+        assert np.array_equal(built.values, reference.values)
+
+    def test_drops_self_loops(self, tmp_path):
+        coo = COOMatrix(3, 3, [0, 1, 2], [0, 2, 2])
+        built = symmetrize_to_memmap(coo_to_csr(coo), str(tmp_path / "loops"))
+        assert built.nnz == 2  # only the {1, 2} edge survives, both ways
+        assert np.array_equal(built.col_indices, [2, 1])
+
+    def test_rejects_rectangular(self, tmp_path):
+        matrix = coo_to_csr(COOMatrix(2, 3, [0], [2]))
+        with pytest.raises(FormatError, match="square"):
+            symmetrize_to_memmap(matrix, str(tmp_path / "rect"))
+
+    def test_no_scratch_left_behind(self, tmp_path):
+        coo = COOMatrix(5, 5, [0, 1], [1, 2])
+        target = tmp_path / "clean"
+        symmetrize_to_memmap(coo_to_csr(coo), str(target))
+        leftovers = [p for p in tmp_path.iterdir() if p != target]
+        assert leftovers == []
